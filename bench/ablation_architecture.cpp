@@ -1,0 +1,90 @@
+// Architecture ablation (paper §2.2: "We find transformers to be
+// particularly suitable models for telemetry imputation"): the same data
+// and loss across four model families —
+//   * pointwise MLP (no temporal context at all),
+//   * bidirectional GRU (recurrent context),
+//   * transformer encoder (attention context; the paper's choice),
+//   * physics-informed rate transformer (§5's intermediate-variable idea:
+//     predict net inflow, derive queues through the Lindley recursion).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "impute/alt_models.h"
+#include "impute/rate_imputer.h"
+#include "impute/transformer_imputer.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace fmnet;
+
+int main() {
+  bench::print_header(
+      "Architecture ablation — MLP vs BiGRU vs Transformer vs RateNet");
+
+  const core::Campaign campaign =
+      core::run_campaign(bench::default_campaign(42, 5'000));
+  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  core::Table1Evaluator evaluator(campaign, data);
+
+  Table table({"model", "train (s)", "a. max", "b. periodic",
+               "d. burst det", "e. burst height", "h. empty freq"});
+  auto add_row = [&](const core::Table1Row& row, double seconds) {
+    table.add_row({row.method, Table::fmt(seconds, 1),
+                   Table::fmt(row.max_constraint),
+                   Table::fmt(row.periodic_constraint),
+                   Table::fmt(row.burst_detection),
+                   Table::fmt(row.burst_height),
+                   Table::fmt(row.empty_queue_freq)});
+  };
+
+  const int epochs = static_cast<int>(
+      bench::env_int("FMNET_EPOCHS", fast_mode() ? 4 : 25));
+
+  {
+    impute::AltTrainConfig cfg;
+    cfg.epochs = epochs;
+    impute::PointwiseMlpImputer mlp(32, cfg);
+    Stopwatch sw;
+    mlp.train(data.split.train);
+    const double s = sw.elapsed_seconds();
+    add_row(evaluator.evaluate(mlp), s);
+  }
+  {
+    impute::AltTrainConfig cfg;
+    cfg.epochs = epochs;
+    impute::BiGruImputer gru(16, cfg);
+    Stopwatch sw;
+    gru.train(data.split.train);
+    const double s = sw.elapsed_seconds();
+    add_row(evaluator.evaluate(gru), s);
+  }
+  {
+    auto cfg = bench::default_training(false);
+    cfg.epochs = epochs;
+    impute::TransformerImputer tr(bench::default_model(), cfg);
+    Stopwatch sw;
+    tr.train(data.split.train);
+    const double s = sw.elapsed_seconds();
+    add_row(evaluator.evaluate(tr), s);
+  }
+  {
+    impute::RateImputerConfig cfg;
+    cfg.model = bench::default_model();
+    cfg.epochs = epochs;
+    impute::PhysicsRateImputer rate(cfg);
+    Stopwatch sw;
+    rate.train(data.split.train);
+    const double s = sw.elapsed_seconds();
+    add_row(evaluator.evaluate(rate), s);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nreading: the pointwise MLP is structurally unable to place "
+      "within-interval detail (its output is constant across each 50 ms "
+      "interval); temporal models can; the rate network additionally "
+      "guarantees non-negativity and bounded slopes by construction.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation of the KAL design (paper §3.1 / §4): how much of the consistency
+// gain comes from the augmented-Lagrangian penalty, and how the penalty
+// weight μ steers the trade-off the paper observes ("KAL encourages higher
+// values when bursts occur, the transformer can end up overshooting,
+// leading to an increase in max-constraint error when only KAL is
+// incorporated").
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "impute/knowledge_imputer.h"
+#include "impute/transformer_imputer.h"
+#include "util/table.h"
+
+using namespace fmnet;
+
+int main() {
+  bench::print_header("Ablation — KAL penalty weight and CEM interaction");
+
+  const core::Campaign campaign =
+      core::run_campaign(bench::default_campaign(42, 5'000));
+  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  core::Table1Evaluator evaluator(campaign, data);
+
+  Table table({"variant", "a. max", "b. periodic", "c. sent",
+               "d. burst det", "e. burst height"});
+
+  struct Variant {
+    const char* label;
+    bool use_kal;
+    float mu;
+    float weight;
+    bool with_cem;
+  };
+  const std::vector<Variant> variants = {
+      {"no KAL", false, 0.5f, 1.0f, false},
+      {"KAL mu=0.1", true, 0.1f, 1.0f, false},
+      {"KAL mu=0.5", true, 0.5f, 1.0f, false},
+      {"KAL mu=2.0", true, 2.0f, 1.0f, false},
+      {"KAL half-weight", true, 0.5f, 0.5f, false},
+      {"KAL mu=0.5 + CEM", true, 0.5f, 1.0f, true},
+  };
+
+  for (const auto& v : variants) {
+    auto cfg = bench::default_training(v.use_kal);
+    cfg.kal_mu = v.mu;
+    cfg.kal_weight = v.weight;
+    auto model = std::make_shared<impute::TransformerImputer>(
+        bench::default_model(), cfg);
+    model->train(data.split.train);
+
+    core::Table1Row row;
+    if (v.with_cem) {
+      impute::KnowledgeAugmentedImputer full(model);
+      row = evaluator.evaluate(full);
+    } else {
+      row = evaluator.evaluate(*model);
+    }
+    table.add_row({v.label, Table::fmt(row.max_constraint),
+                   Table::fmt(row.periodic_constraint),
+                   Table::fmt(row.sent_constraint),
+                   Table::fmt(row.burst_detection),
+                   Table::fmt(row.burst_height)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nreading: KAL alone reduces but cannot nullify a-c (and can "
+      "overshoot the max when pushed hard); adding CEM nullifies them — "
+      "the paper's argument for needing both.\n");
+  return 0;
+}

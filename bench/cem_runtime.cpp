@@ -1,0 +1,68 @@
+// Reproduces the §4 runtime claim: "The average time for CEM to correct a
+// 50 ms transformer output is 1.47 s, a significant improvement compared to
+// FM alone which did not terminate."
+//
+// Measures both CEM engines (the specialised exact repair and the smtlite
+// branch-and-bound that mirrors the paper's Z3 usage) across many windows
+// of a real campaign, and sweeps the interval length.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "impute/cem.h"
+#include "impute/linear_interp.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace fmnet;
+
+int main() {
+  bench::print_header("CEM correction runtime per 50 ms interval");
+
+  const core::Campaign campaign =
+      core::run_campaign(bench::default_campaign(42));
+  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+
+  // A deliberately-inconsistent input: the naive baseline, which violates
+  // all three constraints, so CEM has real work to do.
+  impute::LinearInterpImputer base;
+
+  const std::size_t max_windows = fast_mode() ? 20 : 100;
+  Table table({"engine", "windows (50ms)", "total (s)", "mean per 50ms (ms)",
+               "objective (pkts moved)"});
+
+  for (const auto engine : {impute::CemEngine::kFastRepair,
+                            impute::CemEngine::kSmtBranchAndBound}) {
+    impute::CemConfig cfg;
+    cfg.engine = engine;
+    impute::ConstraintEnforcementModule cem(cfg);
+    double total_seconds = 0.0;
+    std::int64_t total_objective = 0;
+    std::size_t windows = 0;
+    for (const auto& ex : data.split.test) {
+      if (windows >= max_windows) break;
+      const auto imputed = base.impute(ex);
+      const auto c =
+          impute::to_packet_constraints(ex.constraints, ex.qlen_scale);
+      const auto r = cem.correct(imputed, c);
+      total_seconds += r.seconds;
+      total_objective += r.objective;
+      windows += ex.window / data.dataset_config.factor;
+    }
+    table.add_row({engine == impute::CemEngine::kFastRepair
+                       ? "fast exact repair"
+                       : "smtlite branch&bound",
+                   std::to_string(windows), Table::fmt(total_seconds, 3),
+                   Table::fmt(1e3 * total_seconds /
+                                  static_cast<double>(windows),
+                              4),
+                   std::to_string(total_objective)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper context: Z3-based CEM took 1.47 s per 50 ms window; FM-alone "
+      "never terminated. Both engines here enforce the identical optimum "
+      "(cross-checked in tests); the specialised engine shows the cost is "
+      "in the solver generality, not the constraint system.\n");
+  return 0;
+}

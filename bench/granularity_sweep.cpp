@@ -1,0 +1,59 @@
+// Reproduces the §3 claim of a 50x granularity gain (50 ms -> 1 ms) and
+// probes how the benefit of the knowledge-augmented pipeline scales with
+// the imputation factor: sweep factor ∈ {10, 25, 50} with everything else
+// fixed, reporting the consistency and burst rows for Transformer+KAL+CEM
+// vs the naive baseline.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "impute/knowledge_imputer.h"
+#include "impute/linear_interp.h"
+#include "util/table.h"
+
+using namespace fmnet;
+
+int main() {
+  bench::print_header("Granularity sweep — imputation factor 10x/25x/50x");
+
+  const core::Campaign campaign =
+      core::run_campaign(bench::default_campaign(42, 5'000));
+
+  Table table({"factor", "method", "a. max", "b. periodic", "d. burst det",
+               "e. burst height", "h. empty freq"});
+
+  const std::vector<std::size_t> factors =
+      fast_mode() ? std::vector<std::size_t>{10, 50}
+                  : std::vector<std::size_t>{10, 25, 50};
+  for (const std::size_t factor : factors) {
+    // Window = 6 intervals, as in the paper's 300 ms / 50 ms layout.
+    const core::PreparedData data =
+        core::prepare_data(campaign, 6 * factor, factor);
+    core::Table1Evaluator evaluator(campaign, data);
+
+    impute::LinearInterpImputer naive;
+    const auto naive_row = evaluator.evaluate(naive);
+
+    auto kal = std::make_shared<impute::TransformerImputer>(
+        bench::default_model(), bench::default_training(true));
+    kal->train(data.split.train);
+    impute::KnowledgeAugmentedImputer full(kal);
+    const auto full_row = evaluator.evaluate(full);
+
+    for (const auto* row : {&naive_row, &full_row}) {
+      table.add_row({std::to_string(factor) + "x", row->method,
+                     Table::fmt(row->max_constraint),
+                     Table::fmt(row->periodic_constraint),
+                     Table::fmt(row->burst_detection),
+                     Table::fmt(row->burst_height),
+                     Table::fmt(row->empty_queue_freq)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nshape: the knowledge-augmented pipeline sustains consistency "
+      "(a, b ~ 0) at every factor, while the naive baseline degrades as "
+      "the factor grows — the 50x setting of the paper is the hardest.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks of the substrates: tensor ops,
+// transformer forward/backward, smtlite solving, switch simulation
+// throughput, and single-interval CEM repair.
+#include <benchmark/benchmark.h>
+
+#include "impute/cem.h"
+#include "nn/losses.h"
+#include "nn/transformer.h"
+#include "smt/model.h"
+#include "smt/solver.h"
+#include "switchsim/switch.h"
+#include "tensor/ops.h"
+#include "traffic/sources.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fmnet;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const auto a = tensor::Tensor::randn({n, n}, rng);
+  const auto b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransformerForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  nn::TransformerConfig cfg;
+  cfg.input_channels = 4;
+  cfg.d_model = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq_len = 512;
+  nn::ImputationTransformer model(cfg, rng);
+  const auto x = tensor::Tensor::randn({4, state.range(0), 4}, rng);
+  const auto y = tensor::Tensor::randn({4, state.range(0)}, rng);
+  for (auto _ : state) {
+    model.zero_grad();
+    auto loss = nn::emd_loss(model.forward(x, rng), y);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TransformerForwardBackward)->Arg(100)->Arg(300);
+
+void BM_SwitchStepThroughput(benchmark::State& state) {
+  switchsim::SwitchConfig cfg;
+  cfg.num_ports = static_cast<std::int32_t>(state.range(0));
+  cfg.buffer_size = 600;
+  auto source = traffic::make_paper_workload(cfg.num_ports, 7);
+  switchsim::OutputQueuedSwitch sw(cfg);
+  std::vector<switchsim::Arrival> arrivals;
+  std::int64_t slot = 0;
+  for (auto _ : state) {
+    arrivals.clear();
+    source->generate(slot++, arrivals);
+    sw.step(arrivals);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchStepThroughput)->Arg(8)->Arg(32);
+
+void BM_SmtPigeonholeSat(benchmark::State& state) {
+  // Satisfiable instance: P pigeons, P holes.
+  const int p_count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    smt::Model m;
+    std::vector<std::vector<smt::VarId>> in(p_count);
+    for (int p = 0; p < p_count; ++p) {
+      smt::LinExpr sum;
+      for (int h = 0; h < p_count; ++h) {
+        in[p].push_back(m.new_bool());
+        sum = sum + smt::LinExpr(in[p][h]);
+      }
+      m.add_linear(sum, smt::Cmp::kEq, 1);
+    }
+    for (int h = 0; h < p_count; ++h) {
+      smt::LinExpr sum;
+      for (int p = 0; p < p_count; ++p) sum = sum + smt::LinExpr(in[p][h]);
+      m.add_linear(sum, smt::Cmp::kLe, 1);
+    }
+    smt::Solver solver(m);
+    benchmark::DoNotOptimize(solver.solve().status);
+  }
+}
+BENCHMARK(BM_SmtPigeonholeSat)->Arg(8)->Arg(16);
+
+void BM_CemFastRepairInterval(benchmark::State& state) {
+  Rng rng(3);
+  const std::int64_t factor = state.range(0);
+  impute::CemConstraints c;
+  c.coarse_factor = factor;
+  c.window_max = {40};
+  c.port_sent = {factor / 2};
+  c.sample_idx = {0};
+  c.sample_val = {10};
+  std::vector<double> imputed(static_cast<std::size_t>(factor));
+  for (auto& v : imputed) v = rng.uniform(0.0, 50.0);
+  impute::ConstraintEnforcementModule cem;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cem.correct(imputed, c).objective);
+  }
+}
+BENCHMARK(BM_CemFastRepairInterval)->Arg(50)->Arg(200);
+
+void BM_EmdLoss(benchmark::State& state) {
+  Rng rng(4);
+  const auto a = tensor::Tensor::randn({8, 300}, rng, 1.0f, true);
+  const auto b = tensor::Tensor::randn({8, 300}, rng);
+  for (auto _ : state) {
+    auto loss = nn::emd_loss(a, b);
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_EmdLoss);
+
+}  // namespace
+
+BENCHMARK_MAIN();

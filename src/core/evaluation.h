@@ -1,0 +1,61 @@
+// Table-1 evaluation: runs an Imputer over the test split, stitches the
+// imputed windows into per-queue series, and computes the nine error rows
+// of the paper's Table 1 (consistency a–c, burst tasks d–g, queue health h,
+// concurrent bursts i).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "impute/imputer.h"
+
+namespace fmnet::core {
+
+/// One method's row set of Table 1 (all values are normalised errors;
+/// lower is better).
+struct Table1Row {
+  std::string method;
+  double max_constraint = 0.0;       // a
+  double periodic_constraint = 0.0;  // b
+  double sent_constraint = 0.0;      // c
+  double burst_detection = 0.0;      // d
+  double burst_height = 0.0;         // e
+  double burst_frequency = 0.0;      // f
+  double burst_interarrival = 0.0;   // g
+  double empty_queue_freq = 0.0;     // h
+  double concurrent_bursts = 0.0;    // i
+};
+
+class Table1Evaluator {
+ public:
+  /// `burst_threshold_fraction` scales the buffer size into the packet
+  /// threshold used by burst detection on both truth and imputed series.
+  /// The default (8% of the shared buffer) keeps detection meaningful for
+  /// the incast bursts of the paper workload while staying above the
+  /// noise floor of ML-imputed series.
+  Table1Evaluator(const Campaign& campaign, const PreparedData& data,
+                  double burst_threshold_fraction = 0.08);
+
+  /// Imputes every test example with `imputer` and fills a Table1Row.
+  Table1Row evaluate(impute::Imputer& imputer) const;
+
+  double burst_threshold() const { return burst_threshold_; }
+
+  /// The stitched ground-truth series of the test windows, per queue
+  /// (packets) — exposed for figure benches.
+  const std::vector<std::vector<double>>& truth_series() const {
+    return truth_;
+  }
+
+ private:
+  const Campaign& campaign_;
+  const PreparedData& data_;
+  double burst_threshold_;
+  std::vector<std::vector<double>> truth_;  // [queue][stitched step]
+};
+
+/// Prints rows in the paper's Table 1 layout.
+void print_table1(const std::vector<Table1Row>& rows, std::ostream& os);
+
+}  // namespace fmnet::core

@@ -1,0 +1,54 @@
+#include "core/pipeline.h"
+
+#include "traffic/sources.h"
+#include "util/check.h"
+
+namespace fmnet::core {
+
+Campaign run_campaign(const CampaignConfig& config) {
+  FMNET_CHECK_GT(config.total_ms, 0);
+  switchsim::SwitchConfig sw_cfg;
+  sw_cfg.num_ports = config.num_ports;
+  sw_cfg.queues_per_port = config.queues_per_port;
+  sw_cfg.buffer_size = config.buffer_size;
+  sw_cfg.alpha = {1.0, 0.5};
+  FMNET_CHECK_EQ(config.queues_per_port, 2);  // paper scenario: two classes
+  sw_cfg.slots_per_ms = config.slots_per_ms;
+  sw_cfg.scheduler = config.scheduler;
+
+  switchsim::OutputQueuedSwitch sw(sw_cfg);
+  switchsim::GroundTruthRecorder recorder(sw);
+  auto source = traffic::make_paper_workload(config.num_ports, config.seed);
+
+  std::vector<switchsim::Arrival> arrivals;
+  const std::int64_t slots = config.total_ms * config.slots_per_ms;
+  for (std::int64_t s = 0; s < slots; ++s) {
+    arrivals.clear();
+    source->generate(s, arrivals);
+    sw.step(arrivals);
+    recorder.on_slot();
+  }
+  return Campaign{sw_cfg, recorder.finish()};
+}
+
+PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
+                          std::size_t factor) {
+  PreparedData out;
+  out.dataset_config.window_ms = window_ms;
+  out.dataset_config.factor = factor;
+  out.dataset_config.qlen_scale =
+      static_cast<double>(campaign.switch_config.buffer_size);
+  out.dataset_config.count_scale =
+      static_cast<double>(campaign.switch_config.slots_per_ms) *
+      static_cast<double>(factor);
+
+  const auto gt = telemetry::trim_to_multiple(campaign.gt, window_ms);
+  out.coarse = telemetry::sample_telemetry(gt, factor);
+  auto examples = telemetry::build_examples(
+      gt, out.coarse, out.dataset_config,
+      campaign.switch_config.queues_per_port);
+  out.split = telemetry::split_examples(std::move(examples));
+  return out;
+}
+
+}  // namespace fmnet::core

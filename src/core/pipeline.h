@@ -1,0 +1,57 @@
+// FMNet public pipeline API: one-call campaign simulation and dataset
+// preparation, mirroring the paper's end-to-end flow (Fig. 3):
+//
+//   simulate (switchsim+traffic)  ->  sample (telemetry)  ->
+//   train/impute (impute)         ->  correct (CEM)       ->
+//   evaluate (tasks, evaluation.h)
+//
+// This is the layer examples and benches program against.
+#pragma once
+
+#include <cstdint>
+
+#include "switchsim/recorder.h"
+#include "switchsim/switch.h"
+#include "telemetry/dataset.h"
+#include "telemetry/monitors.h"
+
+namespace fmnet::core {
+
+/// Simulation campaign parameters. Defaults mirror the paper's setup: an
+/// 8-port output-queued switch, two queues per port with different DT
+/// alphas, websearch+incast traffic, 1 ms fine granularity, 50 ms coarse
+/// telemetry, 10 s duration.
+struct CampaignConfig {
+  std::int32_t num_ports = 8;
+  std::int32_t queues_per_port = 2;
+  std::int64_t buffer_size = 600;
+  std::int32_t slots_per_ms = 90;
+  std::int64_t total_ms = 10'000;
+  std::uint64_t seed = 42;
+  switchsim::SchedulerType scheduler =
+      switchsim::SchedulerType::kRoundRobin;
+};
+
+/// A completed simulation: config + fine-grained ground truth.
+struct Campaign {
+  switchsim::SwitchConfig switch_config;
+  switchsim::GroundTruth gt;
+};
+
+/// Runs the paper workload through the switch and records ground truth.
+Campaign run_campaign(const CampaignConfig& config);
+
+/// Prepared data: coarse telemetry plus train/test example splits.
+struct PreparedData {
+  telemetry::DatasetConfig dataset_config;
+  telemetry::CoarseTelemetry coarse;
+  telemetry::DatasetSplit split;
+};
+
+/// Samples telemetry at `factor` and windows it into examples. The queue
+/// normalisation scale is the buffer size; the counter scale is the
+/// per-interval port capacity.
+PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
+                          std::size_t factor);
+
+}  // namespace fmnet::core

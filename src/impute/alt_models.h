@@ -1,0 +1,57 @@
+// Architecture baselines for the "why a transformer?" question (§2.2
+// claims transformers are particularly suitable): a bidirectional GRU and
+// a pointwise MLP (no temporal mixing at all), trained with the same EMD
+// objective. Compared in bench/ablation_architecture.
+#pragma once
+
+#include <memory>
+
+#include "impute/imputer.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+
+namespace fmnet::impute {
+
+struct AltTrainConfig {
+  int epochs = 20;
+  int batch_size = 8;
+  float lr = 3e-3f;
+  float grad_clip = 1.0f;
+  std::uint64_t seed = 1;
+};
+
+/// Bidirectional-GRU imputer (recurrent baseline).
+class BiGruImputer : public Imputer {
+ public:
+  BiGruImputer(std::int64_t hidden_size, AltTrainConfig config);
+
+  std::string name() const override { return "BiGRU"; }
+  void train(const std::vector<ImputationExample>& examples);
+  std::vector<double> impute(const ImputationExample& ex) override;
+
+ private:
+  AltTrainConfig config_;
+  fmnet::Rng rng_;
+  std::unique_ptr<nn::BiGruImputerNet> net_;
+};
+
+/// Per-step MLP imputer: sees each time step's coarse features in
+/// isolation — an ablation of temporal context.
+class PointwiseMlpImputer : public Imputer {
+ public:
+  PointwiseMlpImputer(std::int64_t hidden_size, AltTrainConfig config);
+
+  std::string name() const override { return "PointwiseMLP"; }
+  void train(const std::vector<ImputationExample>& examples);
+  std::vector<double> impute(const ImputationExample& ex) override;
+
+ private:
+  AltTrainConfig config_;
+  fmnet::Rng rng_;
+  std::unique_ptr<nn::Linear> l1_;
+  std::unique_ptr<nn::Linear> l2_;
+  std::unique_ptr<nn::Linear> l3_;
+  tensor::Tensor forward(const tensor::Tensor& x) const;  // [B,T,C]->[B,T]
+};
+
+}  // namespace fmnet::impute

@@ -1,0 +1,396 @@
+#include "impute/cem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace fmnet::impute {
+
+CemConstraints to_packet_constraints(const nn::ExampleConstraints& c,
+                                     double qlen_scale) {
+  FMNET_CHECK_GT(qlen_scale, 0.0);
+  CemConstraints out;
+  out.coarse_factor = c.coarse_factor;
+  out.sample_idx = c.sample_idx;
+  out.sample_val.reserve(c.sample_val.size());
+  for (const float v : c.sample_val) {
+    out.sample_val.push_back(
+        std::llround(static_cast<double>(v) * qlen_scale));
+  }
+  out.window_max.reserve(c.window_max.size());
+  for (const float v : c.window_max) {
+    out.window_max.push_back(
+        std::llround(static_cast<double>(v) * qlen_scale));
+  }
+  out.port_sent.reserve(c.port_sent.size());
+  for (const float v : c.port_sent) {
+    out.port_sent.push_back(std::llround(static_cast<double>(v)));
+  }
+  return out;
+}
+
+namespace {
+std::int64_t iabs(std::int64_t v) { return v < 0 ? -v : v; }
+}  // namespace
+
+ConstraintEnforcementModule::IntervalResult
+ConstraintEnforcementModule::correct_interval_fast(
+    const std::vector<double>& imputed, std::int64_t m_max,
+    std::int64_t m_out, const std::vector<std::int64_t>& sample_at,
+    std::int64_t factor) const {
+  IntervalResult res;
+  res.values.assign(static_cast<std::size_t>(factor), 0);
+
+  // Integer reference: the rounded transformer output.
+  std::vector<std::int64_t> ref(static_cast<std::size_t>(factor));
+  for (std::int64_t t = 0; t < factor; ++t) {
+    ref[t] = std::llround(imputed[static_cast<std::size_t>(t)]);
+  }
+
+  // Feasibility screens on the sampled (immutable) steps.
+  std::int64_t forced_nonempty = 0;
+  bool sample_attains_max = false;
+  for (std::int64_t t = 0; t < factor; ++t) {
+    const std::int64_t s = sample_at[static_cast<std::size_t>(t)];
+    if (s < 0) continue;
+    if (s > m_max) {
+      res.feasible = false;
+      return res;
+    }
+    if (s > 0) ++forced_nonempty;
+    if (s == m_max) sample_attains_max = true;
+  }
+  if (forced_nonempty > m_out) {
+    res.feasible = false;
+    return res;
+  }
+
+  // Per-step base assignment (closest feasible point ignoring C1
+  // attainment and C3) and its cost.
+  std::vector<std::int64_t> base(static_cast<std::size_t>(factor));
+  std::int64_t base_cost = 0;
+  for (std::int64_t t = 0; t < factor; ++t) {
+    const std::int64_t s = sample_at[static_cast<std::size_t>(t)];
+    if (s >= 0) {
+      base[t] = s;
+    } else {
+      base[t] = std::clamp<std::int64_t>(ref[t], 0, m_max);
+      base_cost += iabs(base[t] - ref[t]);
+    }
+  }
+
+  // Evaluates one branch: `raise_at` = index forced to m_max (-1 when a
+  // sample already attains it). Returns total objective or -1 if the
+  // branch cannot satisfy C3.
+  auto evaluate = [&](std::int64_t raise_at, std::vector<std::int64_t>* out,
+                      std::int64_t* out_cost) {
+    std::int64_t cost = base_cost;
+    std::int64_t nonempty = forced_nonempty;
+    if (raise_at >= 0) {
+      cost -= iabs(base[raise_at] - ref[raise_at]);
+      cost += iabs(m_max - ref[raise_at]);
+      if (m_max > 0) ++nonempty;
+    }
+    // Optional non-empty steps: non-sampled, not the raised one, base > 0.
+    std::vector<std::pair<std::int64_t, std::int64_t>> zero_delta;  // (Δ, t)
+    for (std::int64_t t = 0; t < factor; ++t) {
+      if (sample_at[static_cast<std::size_t>(t)] >= 0 || t == raise_at) {
+        continue;
+      }
+      if (base[t] > 0) {
+        ++nonempty;
+        zero_delta.emplace_back(iabs(ref[t]) - iabs(base[t] - ref[t]), t);
+      }
+    }
+    const std::int64_t need_zero = std::max<std::int64_t>(0,
+                                                          nonempty - m_out);
+    if (need_zero > static_cast<std::int64_t>(zero_delta.size())) {
+      return false;
+    }
+    std::sort(zero_delta.begin(), zero_delta.end());
+    if (out != nullptr) {
+      *out = base;
+      if (raise_at >= 0) (*out)[raise_at] = m_max;
+      for (std::int64_t k = 0; k < need_zero; ++k) {
+        (*out)[zero_delta[static_cast<std::size_t>(k)].second] = 0;
+      }
+    }
+    for (std::int64_t k = 0; k < need_zero; ++k) {
+      cost += zero_delta[static_cast<std::size_t>(k)].first;
+    }
+    *out_cost = cost;
+    return true;
+  };
+
+  std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_raise = -2;  // -2 = none found
+  std::int64_t cost = 0;
+  if (sample_attains_max && evaluate(-1, nullptr, &cost)) {
+    best_cost = cost;
+    best_raise = -1;
+  }
+  for (std::int64_t r = 0; r < factor; ++r) {
+    if (sample_at[static_cast<std::size_t>(r)] >= 0) continue;
+    if (evaluate(r, nullptr, &cost) && cost < best_cost) {
+      best_cost = cost;
+      best_raise = r;
+    }
+  }
+  if (best_raise == -2) {
+    res.feasible = false;
+    return res;
+  }
+  FMNET_CHECK(evaluate(best_raise, &res.values, &res.objective),
+              "winning branch must re-evaluate feasibly");
+  return res;
+}
+
+ConstraintEnforcementModule::IntervalResult
+ConstraintEnforcementModule::correct_interval_smt(
+    const std::vector<double>& imputed, std::int64_t m_max,
+    std::int64_t m_out, const std::vector<std::int64_t>& sample_at,
+    std::int64_t factor) const {
+  IntervalResult res;
+  smt::Model model;
+  std::vector<smt::VarId> q;
+  q.reserve(static_cast<std::size_t>(factor));
+  for (std::int64_t t = 0; t < factor; ++t) {
+    q.push_back(model.new_int(0, m_max, "q" + std::to_string(t)));
+  }
+  // C2: sampled steps fixed.
+  for (std::int64_t t = 0; t < factor; ++t) {
+    const std::int64_t s = sample_at[static_cast<std::size_t>(t)];
+    if (s >= 0) {
+      if (s > m_max) {
+        res.feasible = false;
+        return res;
+      }
+      model.add_linear(smt::LinExpr(q[t]), smt::Cmp::kEq, s);
+    }
+  }
+  // C1: max attained (upper bound is the domain; attainment via clause).
+  std::vector<smt::BoolLit> attain;
+  for (std::int64_t t = 0; t < factor; ++t) {
+    const smt::VarId b = model.new_bool();
+    model.add_reified(b, smt::LinExpr(q[t]), smt::Cmp::kGe, m_max);
+    attain.push_back(smt::pos(b));
+  }
+  model.add_clause(std::move(attain));
+  // C3: Σ [q_t >= 1] <= m_out.
+  smt::LinExpr ne;
+  for (std::int64_t t = 0; t < factor; ++t) {
+    const smt::VarId nz = model.new_bool();
+    model.add_reified(nz, smt::LinExpr(q[t]), smt::Cmp::kGe, 1);
+    ne = ne + smt::LinExpr(nz);
+  }
+  model.add_linear(ne, smt::Cmp::kLe, m_out);
+  // Objective: Σ |q_t - ref_t| over non-sampled steps.
+  smt::LinExpr objective;
+  for (std::int64_t t = 0; t < factor; ++t) {
+    if (sample_at[static_cast<std::size_t>(t)] >= 0) continue;
+    const std::int64_t ref =
+        std::llround(imputed[static_cast<std::size_t>(t)]);
+    const std::int64_t hi = std::max(iabs(ref), iabs(m_max - ref));
+    objective = objective + smt::LinExpr(model.add_abs(
+                                smt::LinExpr(q[t]) - smt::LinExpr(ref), hi));
+  }
+  model.minimize(objective);
+
+  smt::Solver solver(model, config_.smt_budget);
+  const smt::SolveResult r = solver.minimize();
+  if (!r.has_solution()) {
+    res.feasible = false;
+    return res;
+  }
+  res.objective = r.objective;
+  res.values.resize(static_cast<std::size_t>(factor));
+  for (std::int64_t t = 0; t < factor; ++t) {
+    res.values[static_cast<std::size_t>(t)] = r.value(q[t]);
+  }
+  return res;
+}
+
+PortCemResult ConstraintEnforcementModule::correct_port(
+    const std::vector<std::vector<double>>& imputed,
+    const std::vector<CemConstraints>& per_queue) const {
+  fmnet::Stopwatch clock;
+  FMNET_CHECK(!imputed.empty(), "no queues");
+  FMNET_CHECK_EQ(imputed.size(), per_queue.size());
+  const std::size_t nq = imputed.size();
+  const std::int64_t factor = per_queue.front().coarse_factor;
+  const auto t_len = static_cast<std::int64_t>(imputed.front().size());
+  FMNET_CHECK_GT(factor, 0);
+  FMNET_CHECK_EQ(t_len % factor, 0);
+  const std::int64_t windows = t_len / factor;
+  for (std::size_t q = 0; q < nq; ++q) {
+    FMNET_CHECK_EQ(static_cast<std::int64_t>(imputed[q].size()), t_len);
+    FMNET_CHECK_EQ(per_queue[q].coarse_factor, factor);
+    FMNET_CHECK_EQ(static_cast<std::int64_t>(per_queue[q].window_max.size()),
+                   windows);
+  }
+
+  // Scatter samples per queue.
+  std::vector<std::vector<std::int64_t>> sample_at(
+      nq, std::vector<std::int64_t>(static_cast<std::size_t>(t_len), -1));
+  for (std::size_t q = 0; q < nq; ++q) {
+    for (std::size_t s = 0; s < per_queue[q].sample_idx.size(); ++s) {
+      sample_at[q][static_cast<std::size_t>(per_queue[q].sample_idx[s])] =
+          per_queue[q].sample_val[s];
+    }
+  }
+
+  PortCemResult out;
+  out.corrected.assign(nq, std::vector<double>(
+                               static_cast<std::size_t>(t_len), 0.0));
+  for (std::int64_t w = 0; w < windows; ++w) {
+    const std::int64_t begin = w * factor;
+    smt::Model model;
+    std::vector<std::vector<smt::VarId>> qv(nq);
+    smt::LinExpr objective;
+    std::vector<smt::LinExpr> step_nz(static_cast<std::size_t>(factor));
+
+    for (std::size_t q = 0; q < nq; ++q) {
+      const std::int64_t m_max =
+          per_queue[q].window_max[static_cast<std::size_t>(w)];
+      std::vector<smt::BoolLit> attain;
+      for (std::int64_t t = 0; t < factor; ++t) {
+        const smt::VarId v = model.new_int(0, m_max);
+        qv[q].push_back(v);
+        const std::int64_t s =
+            sample_at[q][static_cast<std::size_t>(begin + t)];
+        if (s >= 0) {
+          if (s > m_max) {
+            out.feasible = false;
+            out.seconds = clock.elapsed_seconds();
+            return out;
+          }
+          model.add_linear(smt::LinExpr(v), smt::Cmp::kEq, s);
+        } else {
+          const std::int64_t ref = std::llround(
+              imputed[q][static_cast<std::size_t>(begin + t)]);
+          const std::int64_t hi = std::max(iabs(ref), iabs(m_max - ref));
+          objective = objective +
+                      smt::LinExpr(model.add_abs(
+                          smt::LinExpr(v) - smt::LinExpr(ref), hi));
+        }
+        const smt::VarId b = model.new_bool();
+        model.add_reified(b, smt::LinExpr(v), smt::Cmp::kGe, m_max);
+        attain.push_back(smt::pos(b));
+        const smt::VarId nz = model.new_bool();
+        model.add_reified(nz, smt::LinExpr(v), smt::Cmp::kGe, 1);
+        step_nz[static_cast<std::size_t>(t)] =
+            step_nz[static_cast<std::size_t>(t)] + smt::LinExpr(nz);
+      }
+      model.add_clause(std::move(attain));
+    }
+
+    // Port-level NE: or_t <-> any queue non-empty at t; Σ or_t <= m_out.
+    smt::LinExpr ne;
+    for (std::int64_t t = 0; t < factor; ++t) {
+      const smt::VarId any = model.new_bool();
+      // any >= each nz (via: sum_nz - nq*any <= 0 would be wrong per-lit;
+      // use: sum_nz >= any  and  sum_nz <= nq * any).
+      model.add_linear(step_nz[static_cast<std::size_t>(t)] -
+                           smt::LinExpr(any),
+                       smt::Cmp::kGe, 0);
+      model.add_linear(step_nz[static_cast<std::size_t>(t)] -
+                           smt::LinExpr(any) * static_cast<std::int64_t>(nq),
+                       smt::Cmp::kLe, 0);
+      ne = ne + smt::LinExpr(any);
+    }
+    model.add_linear(ne, smt::Cmp::kLe,
+                     per_queue.front().port_sent[static_cast<std::size_t>(
+                         w)]);
+    model.minimize(objective);
+
+    smt::Solver solver(model, config_.smt_budget);
+    const smt::SolveResult r = solver.minimize();
+    if (!r.has_solution()) {
+      out.feasible = false;
+      for (std::size_t q = 0; q < nq; ++q) {
+        for (std::int64_t t = 0; t < factor; ++t) {
+          out.corrected[q][static_cast<std::size_t>(begin + t)] = std::max(
+              0.0, imputed[q][static_cast<std::size_t>(begin + t)]);
+        }
+      }
+      continue;
+    }
+    out.objective += r.objective;
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::int64_t t = 0; t < factor; ++t) {
+        out.corrected[q][static_cast<std::size_t>(begin + t)] =
+            static_cast<double>(
+                r.value(qv[q][static_cast<std::size_t>(t)]));
+      }
+    }
+  }
+  out.seconds = clock.elapsed_seconds();
+  return out;
+}
+
+CemResult ConstraintEnforcementModule::correct(
+    const std::vector<double>& imputed, const CemConstraints& c) const {
+  fmnet::Stopwatch clock;
+  const std::int64_t factor = c.coarse_factor;
+  FMNET_CHECK_GT(factor, 0);
+  const auto t_len = static_cast<std::int64_t>(imputed.size());
+  FMNET_CHECK_EQ(t_len % factor, 0);
+  const std::int64_t windows = t_len / factor;
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(c.window_max.size()), windows);
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(c.port_sent.size()), windows);
+  FMNET_CHECK_EQ(c.sample_idx.size(), c.sample_val.size());
+
+  // Scatter samples to per-step lookup (-1 = not sampled).
+  std::vector<std::int64_t> sample_at(static_cast<std::size_t>(t_len), -1);
+  for (std::size_t s = 0; s < c.sample_idx.size(); ++s) {
+    const std::int64_t idx = c.sample_idx[s];
+    FMNET_CHECK(idx >= 0 && idx < t_len, "sample index out of range");
+    sample_at[static_cast<std::size_t>(idx)] = c.sample_val[s];
+  }
+
+  CemResult out;
+  out.corrected.resize(static_cast<std::size_t>(t_len));
+  for (std::int64_t w = 0; w < windows; ++w) {
+    const auto begin = static_cast<std::size_t>(w * factor);
+    const std::vector<double> window_in(
+        imputed.begin() + static_cast<std::ptrdiff_t>(begin),
+        imputed.begin() + static_cast<std::ptrdiff_t>(begin + factor));
+    const std::vector<std::int64_t> window_samples(
+        sample_at.begin() + static_cast<std::ptrdiff_t>(begin),
+        sample_at.begin() + static_cast<std::ptrdiff_t>(begin + factor));
+    const std::int64_t m_max = c.window_max[static_cast<std::size_t>(w)];
+    const std::int64_t m_out = c.port_sent[static_cast<std::size_t>(w)];
+    FMNET_CHECK_GE(m_max, 0);
+    FMNET_CHECK_GE(m_out, 0);
+
+    const IntervalResult r =
+        config_.engine == CemEngine::kFastRepair
+            ? correct_interval_fast(window_in, m_max, m_out, window_samples,
+                                    factor)
+            : correct_interval_smt(window_in, m_max, m_out, window_samples,
+                                   factor);
+    if (!r.feasible) {
+      out.feasible = false;
+      // Leave this interval as the clamped input so callers still get a
+      // usable series.
+      for (std::int64_t t = 0; t < factor; ++t) {
+        out.corrected[begin + static_cast<std::size_t>(t)] = std::max(
+            0.0, window_in[static_cast<std::size_t>(t)]);
+      }
+      continue;
+    }
+    out.objective += r.objective;
+    for (std::int64_t t = 0; t < factor; ++t) {
+      out.corrected[begin + static_cast<std::size_t>(t)] =
+          static_cast<double>(r.values[static_cast<std::size_t>(t)]);
+    }
+  }
+  out.seconds = clock.elapsed_seconds();
+  return out;
+}
+
+}  // namespace fmnet::impute

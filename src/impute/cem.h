@@ -1,0 +1,116 @@
+// Constraint Enforcement Module (paper §3.2).
+//
+// CEM post-corrects a transformer-imputed queue-length series so that the
+// selected constraints hold *exactly*, while minimally changing the output:
+//
+//   min Σ_{t ∉ T_samples} | Q̂c[t] − Q̂[t] |
+//   s.t. C1: per interval w,  max_{t∈w} Q̂c[t] = m_max_w
+//        C2: Q̂c[t] = m_len_t              for sampled t
+//        C3: per interval w,  #{t∈w : Q̂c[t] > 0} ≤ m_out_w
+//
+// Because every constraint is interval-local, the optimisation decomposes
+// into one problem per coarse interval. Two interchangeable engines solve
+// it over integer packet counts:
+//
+//  * kFastRepair — an exact specialised algorithm: each step's
+//    unconstrained optimum is clamp(round(q̂), 0, m_max); then the max-
+//    attainment step r and the set of steps zeroed for C3 are chosen by
+//    enumerating r and greedily zeroing the cheapest steps (optimal since
+//    step costs are independent given r). O(F² log F) per interval.
+//  * kSmtBranchAndBound — the same encoding handed to the smtlite solver
+//    as a branch-and-bound minimisation (how the paper uses Z3).
+//
+// Property tests assert the two engines produce equal objective values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kal.h"
+#include "smt/solver.h"
+
+namespace fmnet::impute {
+
+/// Constraint data for one window in integer packet units.
+struct CemConstraints {
+  std::vector<std::int64_t> sample_idx;
+  std::vector<std::int64_t> sample_val;  // packets
+  std::vector<std::int64_t> window_max;  // packets, per interval
+  std::vector<std::int64_t> port_sent;   // steps, per interval (pre-capped)
+  std::int64_t coarse_factor = 50;
+};
+
+/// Converts the dataset's normalised constraint record to packet units.
+CemConstraints to_packet_constraints(const nn::ExampleConstraints& c,
+                                     double qlen_scale);
+
+enum class CemEngine { kFastRepair, kSmtBranchAndBound };
+
+struct CemConfig {
+  CemEngine engine = CemEngine::kFastRepair;
+  /// Budget for the SMT engine, per interval.
+  smt::Budget smt_budget{.max_decisions = 2'000'000, .max_seconds = 30.0};
+};
+
+struct CemResult {
+  std::vector<double> corrected;  // packets, same length as input
+  /// Σ |corrected - round(imputed)| over non-sampled steps (integer).
+  std::int64_t objective = 0;
+  bool feasible = true;
+  double seconds = 0.0;
+};
+
+/// Result of the port-level joint correction.
+struct PortCemResult {
+  std::vector<std::vector<double>> corrected;  // [queue][t], packets
+  std::int64_t objective = 0;
+  bool feasible = true;
+  double seconds = 0.0;
+};
+
+class ConstraintEnforcementModule {
+ public:
+  explicit ConstraintEnforcementModule(CemConfig config = {})
+      : config_(config) {}
+
+  /// Corrects one window (in packets). `imputed` length must be
+  /// factor * #intervals. Throws CheckError on malformed constraints;
+  /// returns feasible=false when the constraint system is contradictory
+  /// (cannot happen for measurements produced by a real switch).
+  CemResult correct(const std::vector<double>& imputed,
+                    const CemConstraints& c) const;
+
+  /// Port-level joint correction: the paper's exact C3 semantics, where
+  /// the non-empty indicator is the *disjunction over all queues of the
+  /// port* (Fig. 3 / §3, NE_i). Corrects every queue of the port
+  /// simultaneously so that Σ_t [∨_q Q̂c[q][t] > 0] <= m_out per interval,
+  /// in addition to per-queue C1/C2. All per-queue constraint records must
+  /// share coarse_factor and horizon; c[0].port_sent carries the port
+  /// budget. Solved with the smtlite engine (the joint problem has no
+  /// independent-cost structure for the fast repair).
+  PortCemResult correct_port(
+      const std::vector<std::vector<double>>& imputed,
+      const std::vector<CemConstraints>& per_queue) const;
+
+ private:
+  struct IntervalResult {
+    std::vector<std::int64_t> values;
+    std::int64_t objective = 0;
+    bool feasible = true;
+  };
+  IntervalResult correct_interval_fast(const std::vector<double>& imputed,
+                                       std::int64_t m_max,
+                                       std::int64_t m_out,
+                                       const std::vector<std::int64_t>&
+                                           sample_at,  // -1 = not sampled
+                                       std::int64_t factor) const;
+  IntervalResult correct_interval_smt(const std::vector<double>& imputed,
+                                      std::int64_t m_max, std::int64_t m_out,
+                                      const std::vector<std::int64_t>&
+                                          sample_at,
+                                      std::int64_t factor) const;
+
+  CemConfig config_;
+};
+
+}  // namespace fmnet::impute

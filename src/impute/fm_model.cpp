@@ -1,0 +1,239 @@
+#include "impute/fm_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fmnet::impute {
+
+FmSwitchModel::FmSwitchModel(FmSwitchModelConfig config) : config_(config) {
+  FMNET_CHECK_GT(config_.num_queues, 0);
+  FMNET_CHECK_GT(config_.buffer_size, 0);
+  FMNET_CHECK_GT(config_.max_ingress_per_slot, 0);
+  FMNET_CHECK_GT(config_.slots_per_interval, 0);
+}
+
+FmImputationResult FmSwitchModel::impute(const FmMeasurements& m,
+                                         const smt::Budget& budget) const {
+  const auto intervals = static_cast<std::int64_t>(m.num_intervals());
+  FMNET_CHECK_GT(intervals, 0);
+  FMNET_CHECK_EQ(m.sent.size(), m.num_intervals());
+  FMNET_CHECK_EQ(m.dropped.size(), m.num_intervals());
+  FMNET_CHECK_EQ(static_cast<std::int32_t>(m.queue_max.size()),
+                 config_.num_queues);
+  FMNET_CHECK_EQ(static_cast<std::int32_t>(m.queue_sample.size()),
+                 config_.num_queues);
+  const std::int64_t slots = intervals * config_.slots_per_interval;
+  const std::int64_t b_size = config_.buffer_size;
+  const std::int32_t nq = config_.num_queues;
+
+  smt::Model model;
+  // len[q][t] for t in [-1, slots); len[q][-1] is the initial state, fixed
+  // to the first periodic sample.
+  std::vector<std::vector<smt::VarId>> len(nq);
+  std::vector<std::vector<smt::VarId>> pkts(nq);
+  std::vector<std::vector<smt::VarId>> arrivals(nq);
+  std::vector<std::vector<smt::VarId>> drop(nq);
+  std::vector<std::vector<smt::VarId>> sel(nq);
+  for (std::int32_t q = 0; q < nq; ++q) {
+    len[q].resize(static_cast<std::size_t>(slots) + 1);
+    pkts[q].resize(static_cast<std::size_t>(slots));
+    arrivals[q].resize(static_cast<std::size_t>(slots));
+    drop[q].resize(static_cast<std::size_t>(slots));
+    sel[q].resize(static_cast<std::size_t>(slots));
+    len[q][0] = model.new_int(0, b_size);  // len at t = -1
+    model.add_linear(smt::LinExpr(len[q][0]), smt::Cmp::kEq,
+                     m.queue_sample[q].at(0));
+  }
+
+  for (std::int64_t t = 0; t < slots; ++t) {
+    // Occupancy before the slot and the DT threshold (alpha = 1).
+    smt::LinExpr occ_prev;
+    for (std::int32_t q = 0; q < nq; ++q) {
+      occ_prev = occ_prev + smt::LinExpr(len[q][t]);
+    }
+    // thr = B - occ_prev
+    for (std::int32_t q = 0; q < nq; ++q) {
+      arrivals[q][t] =
+          model.new_int(0, config_.max_ingress_per_slot);
+      pkts[q][t] = model.new_int(0, b_size);
+      drop[q][t] = model.new_int(0, config_.max_ingress_per_slot);
+
+      const smt::LinExpr pre =
+          smt::LinExpr(len[q][t]) + smt::LinExpr(arrivals[q][t]);
+      const smt::LinExpr thr = smt::LinExpr(b_size) - occ_prev;
+      // pkts = max(len_prev, min(pre, thr)): the threshold caps growth but
+      // never evicts already-queued packets (matches measure()).
+      const smt::VarId clipped = model.new_int(-b_size, b_size);
+      const smt::VarId fits = model.new_bool();
+      model.add_reified(fits, pre - thr, smt::Cmp::kLe, 0);
+      model.add_implies(smt::pos(fits), smt::LinExpr(clipped) - pre,
+                        smt::Cmp::kEq, 0);
+      model.add_implies(smt::neg(fits), smt::LinExpr(clipped) - thr,
+                        smt::Cmp::kEq, 0);
+      const smt::VarId grows = model.new_bool();
+      model.add_reified(grows, smt::LinExpr(clipped) - smt::LinExpr(len[q][t]),
+                        smt::Cmp::kGe, 0);
+      model.add_implies(smt::pos(grows),
+                        smt::LinExpr(pkts[q][t]) - smt::LinExpr(clipped),
+                        smt::Cmp::kEq, 0);
+      model.add_implies(smt::neg(grows),
+                        smt::LinExpr(pkts[q][t]) - smt::LinExpr(len[q][t]),
+                        smt::Cmp::kEq, 0);
+      // drop = pre - pkts
+      model.add_linear(pre - smt::LinExpr(pkts[q][t]) -
+                           smt::LinExpr(drop[q][t]),
+                       smt::Cmp::kEq, 0);
+    }
+    // Scheduler: work-conserving, at most one dequeue per slot.
+    smt::LinExpr sel_sum;
+    std::vector<smt::VarId> nonempty(nq);
+    for (std::int32_t q = 0; q < nq; ++q) {
+      sel[q][t] = model.new_bool();
+      nonempty[q] = model.new_bool();
+      model.add_reified(nonempty[q], smt::LinExpr(pkts[q][t]), smt::Cmp::kGe,
+                        1);
+      // Can only serve a non-empty queue.
+      model.add_linear(smt::LinExpr(sel[q][t]) - smt::LinExpr(nonempty[q]),
+                       smt::Cmp::kLe, 0);
+      sel_sum = sel_sum + smt::LinExpr(sel[q][t]);
+    }
+    model.add_linear(sel_sum, smt::Cmp::kLe, 1);
+    for (std::int32_t q = 0; q < nq; ++q) {
+      // Work conservation: some queue non-empty => exactly one dequeue.
+      model.add_linear(sel_sum - smt::LinExpr(nonempty[q]), smt::Cmp::kGe,
+                       0);
+    }
+    // Queue recurrence.
+    for (std::int32_t q = 0; q < nq; ++q) {
+      len[q][t + 1] = model.new_int(0, b_size);
+      model.add_linear(smt::LinExpr(len[q][t + 1]) -
+                           smt::LinExpr(pkts[q][t]) +
+                           smt::LinExpr(sel[q][t]),
+                       smt::Cmp::kEq, 0);
+    }
+  }
+
+  // Measurement constraints per interval.
+  for (std::int64_t k = 0; k < intervals; ++k) {
+    const std::int64_t begin = k * config_.slots_per_interval;
+    const std::int64_t end = begin + config_.slots_per_interval;
+    smt::LinExpr recv_sum;
+    smt::LinExpr sent_sum;
+    smt::LinExpr drop_sum;
+    for (std::int64_t t = begin; t < end; ++t) {
+      for (std::int32_t q = 0; q < nq; ++q) {
+        recv_sum = recv_sum + smt::LinExpr(arrivals[q][t]);
+        sent_sum = sent_sum + smt::LinExpr(sel[q][t]);
+        drop_sum = drop_sum + smt::LinExpr(drop[q][t]);
+      }
+    }
+    model.add_linear(recv_sum, smt::Cmp::kEq,
+                     m.received[static_cast<std::size_t>(k)]);
+    model.add_linear(sent_sum, smt::Cmp::kEq,
+                     m.sent[static_cast<std::size_t>(k)]);
+    model.add_linear(drop_sum, smt::Cmp::kEq,
+                     m.dropped[static_cast<std::size_t>(k)]);
+
+    for (std::int32_t q = 0; q < nq; ++q) {
+      const std::int64_t qmax = m.queue_max[q].at(static_cast<std::size_t>(
+          k));
+      std::vector<smt::BoolLit> attain;
+      for (std::int64_t t = begin; t < end; ++t) {
+        model.add_linear(smt::LinExpr(len[q][t + 1]), smt::Cmp::kLe, qmax);
+        const smt::VarId a = model.new_bool();
+        model.add_reified(a, smt::LinExpr(len[q][t + 1]), smt::Cmp::kGe,
+                          qmax);
+        attain.push_back(smt::pos(a));
+      }
+      model.add_clause(std::move(attain));
+      // Periodic sample at the interval start (t = begin - 1 state).
+      model.add_linear(smt::LinExpr(len[q][begin]), smt::Cmp::kEq,
+                       m.queue_sample[q].at(static_cast<std::size_t>(k)));
+    }
+  }
+
+  smt::Solver solver(model, budget);
+  const smt::SolveResult r = solver.solve();
+  FmImputationResult out;
+  out.status = r.status;
+  out.decisions = r.decisions;
+  out.seconds = r.seconds;
+  if (r.status == smt::Status::kSat) {
+    out.queue_len.assign(nq, std::vector<std::int64_t>(
+                                 static_cast<std::size_t>(slots)));
+    for (std::int32_t q = 0; q < nq; ++q) {
+      for (std::int64_t t = 0; t < slots; ++t) {
+        out.queue_len[q][static_cast<std::size_t>(t)] =
+            r.value(len[q][t + 1]);
+      }
+    }
+  }
+  return out;
+}
+
+FmMeasurements FmSwitchModel::measure(
+    const std::vector<std::vector<std::int64_t>>& arrivals,
+    std::vector<std::vector<std::int64_t>>* queue_len_out) const {
+  const std::int32_t nq = config_.num_queues;
+  FMNET_CHECK_EQ(static_cast<std::int32_t>(arrivals.size()), nq);
+  const auto slots = static_cast<std::int64_t>(arrivals.front().size());
+  FMNET_CHECK_EQ(slots % config_.slots_per_interval, 0);
+  const std::int64_t intervals = slots / config_.slots_per_interval;
+
+  std::vector<std::int64_t> len(nq, 0);
+  std::vector<std::vector<std::int64_t>> len_series(
+      nq, std::vector<std::int64_t>(static_cast<std::size_t>(slots)));
+  FmMeasurements m;
+  m.received.assign(static_cast<std::size_t>(intervals), 0);
+  m.sent.assign(static_cast<std::size_t>(intervals), 0);
+  m.dropped.assign(static_cast<std::size_t>(intervals), 0);
+  m.queue_max.assign(nq, std::vector<std::int64_t>(
+                             static_cast<std::size_t>(intervals), 0));
+  m.queue_sample.assign(nq, std::vector<std::int64_t>(
+                                static_cast<std::size_t>(intervals), 0));
+
+  std::int32_t rr = 0;
+  for (std::int64_t t = 0; t < slots; ++t) {
+    const std::int64_t k = t / config_.slots_per_interval;
+    if (t % config_.slots_per_interval == 0) {
+      for (std::int32_t q = 0; q < nq; ++q) {
+        m.queue_sample[q][static_cast<std::size_t>(k)] = len[q];
+      }
+    }
+    const std::int64_t occ_prev =
+        std::accumulate(len.begin(), len.end(), std::int64_t{0});
+    const std::int64_t thr = config_.buffer_size - occ_prev;
+    std::vector<std::int64_t> pkts(nq);
+    for (std::int32_t q = 0; q < nq; ++q) {
+      const std::int64_t a = arrivals[q][static_cast<std::size_t>(t)];
+      FMNET_CHECK_LE(a, config_.max_ingress_per_slot);
+      const std::int64_t pre = len[q] + a;
+      pkts[q] = std::max(len[q], std::min(pre, thr));
+      m.received[static_cast<std::size_t>(k)] += a;
+      m.dropped[static_cast<std::size_t>(k)] += pre - pkts[q];
+    }
+    // Round-robin work-conserving scheduler.
+    std::int32_t chosen = -1;
+    for (std::int32_t i = 0; i < nq; ++i) {
+      const std::int32_t q = (rr + i) % nq;
+      if (pkts[q] > 0) {
+        chosen = q;
+        rr = (q + 1) % nq;
+        break;
+      }
+    }
+    for (std::int32_t q = 0; q < nq; ++q) {
+      len[q] = pkts[q] - (q == chosen ? 1 : 0);
+      m.queue_max[q][static_cast<std::size_t>(k)] =
+          std::max(m.queue_max[q][static_cast<std::size_t>(k)], len[q]);
+      len_series[q][static_cast<std::size_t>(t)] = len[q];
+    }
+    if (chosen >= 0) ++m.sent[static_cast<std::size_t>(k)];
+  }
+  if (queue_len_out != nullptr) *queue_len_out = std::move(len_series);
+  return m;
+}
+
+}  // namespace fmnet::impute

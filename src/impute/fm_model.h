@@ -1,0 +1,90 @@
+// FM-alone telemetry imputation (paper §2.3): a per-time-step constraint
+// model of the switch, solved with smtlite the way the paper solves its
+// model with Z3.
+//
+// Time is divided into packet-transmission slots. For one output port with
+// Q queues sharing a buffer of B packets, per slot t and queue q the model
+// has free variables
+//
+//   a[q][t]    arrivals (bounded by the fan-in degree),
+//   pkts[q][t] queue content after admission = min(len[q][t-1] + a[q][t],
+//              thr[t]) with the Dynamic-Threshold thr[t] = B - occ[t-1]
+//              (α = 1; batch admission — the paper's own abstraction),
+//   drop[q][t] = len[q][t-1] + a[q][t] - pkts[q][t],
+//   sel[q][t]  scheduler choice (work-conserving, <= 1 per port per slot),
+//   len[q][t]  = pkts[q][t] - sel[q][t].
+//
+// Measurement constraints per coarse interval: port-level received / sent /
+// dropped counts equal the SNMP reports; per-queue max length equals the
+// LANZ report; per-queue lengths at interval starts equal the periodic
+// samples.
+//
+// Any satisfying assignment is a *plausible* fine-grained scenario. The
+// catch, demonstrated by bench/fm_alone_scalability, is the exponential
+// search space in the horizon: indistinguishable interleavings (e.g.
+// different inter-arrival gaps with the same queue effect) drown the
+// solver — the paper's Z3 ran for 24h without terminating on realistic
+// sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/solver.h"
+
+namespace fmnet::impute {
+
+struct FmSwitchModelConfig {
+  std::int32_t num_queues = 2;
+  std::int64_t buffer_size = 16;
+  /// Max packets that can arrive to one queue in one slot (fan-in bound).
+  std::int64_t max_ingress_per_slot = 3;
+  std::int64_t slots_per_interval = 8;
+};
+
+/// Coarse measurements over a horizon of N intervals.
+struct FmMeasurements {
+  std::vector<std::int64_t> received;  // per interval, port level
+  std::vector<std::int64_t> sent;
+  std::vector<std::int64_t> dropped;
+  std::vector<std::vector<std::int64_t>> queue_max;     // [queue][interval]
+  std::vector<std::vector<std::int64_t>> queue_sample;  // [queue][interval]
+
+  std::size_t num_intervals() const { return received.size(); }
+};
+
+struct FmImputationResult {
+  smt::Status status = smt::Status::kUnknown;
+  /// Imputed queue length per [queue][slot] when status is kSat.
+  std::vector<std::vector<std::int64_t>> queue_len;
+  std::int64_t decisions = 0;
+  double seconds = 0.0;
+
+  bool found() const { return status == smt::Status::kSat; }
+};
+
+class FmSwitchModel {
+ public:
+  explicit FmSwitchModel(FmSwitchModelConfig config);
+
+  /// Builds the per-slot constraint system for the given measurements and
+  /// searches for any plausible fine-grained scenario.
+  FmImputationResult impute(const FmMeasurements& m,
+                            const smt::Budget& budget) const;
+
+  /// Ground-truth generator for tests/benches: runs the *same* abstract
+  /// switch semantics forward over a known arrival schedule
+  /// (arrivals[queue][slot], round-robin scheduler) and reports the
+  /// measurements a monitoring stack would collect. Also returns the slot-
+  /// level queue lengths via out param if non-null.
+  FmMeasurements measure(
+      const std::vector<std::vector<std::int64_t>>& arrivals,
+      std::vector<std::vector<std::int64_t>>* queue_len_out = nullptr) const;
+
+  const FmSwitchModelConfig& config() const { return config_; }
+
+ private:
+  FmSwitchModelConfig config_;
+};
+
+}  // namespace fmnet::impute

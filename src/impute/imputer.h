@@ -1,0 +1,33 @@
+// Common interface for telemetry imputation methods (paper §4 compares
+// four: IterativeImputer, Transformer, Transformer+KAL,
+// Transformer+KAL+CEM).
+//
+// An Imputer sees only what the operator has — the coarse-grained features
+// and constraint data of an example — and produces the fine-grained
+// queue-length series in packets. It must never read ex.target (the ground
+// truth); evaluation code compares against the target afterwards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.h"
+
+namespace fmnet::impute {
+
+using telemetry::ImputationExample;
+
+/// A fine-grained queue-length imputation method.
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  /// Human-readable method name as it appears in result tables.
+  virtual std::string name() const = 0;
+
+  /// Imputes the fine-grained queue length (in packets, length
+  /// ex.window) from the example's coarse features/constraints.
+  virtual std::vector<double> impute(const ImputationExample& ex) = 0;
+};
+
+}  // namespace fmnet::impute

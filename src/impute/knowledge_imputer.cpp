@@ -1,0 +1,25 @@
+#include "impute/knowledge_imputer.h"
+
+#include "util/check.h"
+
+namespace fmnet::impute {
+
+KnowledgeAugmentedImputer::KnowledgeAugmentedImputer(
+    std::shared_ptr<Imputer> base, CemConfig cem_config)
+    : base_(std::move(base)), cem_(cem_config) {
+  FMNET_CHECK(base_ != nullptr, "null base imputer");
+}
+
+std::vector<double> KnowledgeAugmentedImputer::impute(
+    const ImputationExample& ex) {
+  const std::vector<double> raw = base_->impute(ex);
+  const CemConstraints c =
+      to_packet_constraints(ex.constraints, ex.qlen_scale);
+  const CemResult r = cem_.correct(raw, c);
+  total_cem_seconds_ += r.seconds;
+  ++cem_calls_;
+  if (!r.feasible) ++infeasible_;
+  return r.corrected;
+}
+
+}  // namespace fmnet::impute

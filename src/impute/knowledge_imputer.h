@@ -1,0 +1,41 @@
+// The paper's full system (Fig. 3): Transformer (+KAL) followed by the
+// Constraint Enforcement Module — the "Transformer+KAL+CEM" column of
+// Table 1.
+#pragma once
+
+#include <memory>
+
+#include "impute/cem.h"
+#include "impute/imputer.h"
+#include "impute/transformer_imputer.h"
+
+namespace fmnet::impute {
+
+/// Wraps any base imputer and corrects its output with CEM. The composite
+/// output satisfies C1–C3 exactly (feasibility is guaranteed for
+/// measurements produced by a real switch, since the ground truth is a
+/// witness).
+class KnowledgeAugmentedImputer : public Imputer {
+ public:
+  KnowledgeAugmentedImputer(std::shared_ptr<Imputer> base, CemConfig cem_config = {});
+
+  std::string name() const override { return base_->name() + "+CEM"; }
+  std::vector<double> impute(const ImputationExample& ex) override;
+
+  /// Wall-clock seconds spent inside CEM across all impute() calls, and
+  /// the call count — used by bench/cem_runtime.
+  double total_cem_seconds() const { return total_cem_seconds_; }
+  std::int64_t cem_calls() const { return cem_calls_; }
+  /// Number of windows whose constraint system was infeasible (should stay
+  /// zero on simulator-produced measurements).
+  std::int64_t infeasible_windows() const { return infeasible_; }
+
+ private:
+  std::shared_ptr<Imputer> base_;
+  ConstraintEnforcementModule cem_;
+  double total_cem_seconds_ = 0.0;
+  std::int64_t cem_calls_ = 0;
+  std::int64_t infeasible_ = 0;
+};
+
+}  // namespace fmnet::impute

@@ -1,0 +1,19 @@
+// The simplest baseline: piecewise-linear interpolation through the known
+// anchor points — periodic samples at interval starts and the LANZ maximum
+// placed at each interval's midpoint (the same placement §4 uses to feed
+// the max to IterativeImputer). This reproduces the qualitative behaviour
+// of Fig. 4a: it "learns nothing from the auxiliary time series and simply
+// connects periodic and maximum queue values".
+#pragma once
+
+#include "impute/imputer.h"
+
+namespace fmnet::impute {
+
+class LinearInterpImputer : public Imputer {
+ public:
+  std::string name() const override { return "LinearInterp"; }
+  std::vector<double> impute(const ImputationExample& ex) override;
+};
+
+}  // namespace fmnet::impute

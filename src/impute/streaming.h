@@ -1,0 +1,66 @@
+// Streaming telemetry imputation — the paper's §5 real-time research
+// question ("some tasks such as performance-driven routing, rate
+// adaptation, and attack detection drive real-time network activation and
+// are hence subject to strict timing constraints").
+//
+// StreamingImputer turns any batch Imputer into an online one: coarse
+// intervals arrive one at a time; once a full context window is buffered,
+// each new interval is imputed immediately using the trailing window, and
+// the per-interval processing latency is recorded. The real-time budget is
+// one coarse interval (50 ms): if imputation of an interval takes longer
+// than the interval itself, the system cannot keep up.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "impute/imputer.h"
+
+namespace fmnet::impute {
+
+/// One interval's worth of coarse telemetry for a single queue.
+struct CoarseIntervalUpdate {
+  double periodic_qlen = 0.0;  // packets
+  double max_qlen = 0.0;       // packets
+  double port_sent = 0.0;      // packets
+  double port_dropped = 0.0;   // packets
+};
+
+/// Output for the newest interval once the context window is full.
+struct StreamingOutput {
+  bool ready = false;
+  /// Fine-grained queue lengths of the *newest* interval (factor values,
+  /// packets).
+  std::vector<double> fine;
+  /// Wall-clock seconds spent producing it.
+  double latency_seconds = 0.0;
+};
+
+class StreamingImputer {
+ public:
+  /// `window_intervals` is the model's context length in coarse intervals
+  /// (e.g. 6 for the paper's 300 ms window at 50 ms telemetry).
+  StreamingImputer(std::shared_ptr<Imputer> base,
+                   std::size_t window_intervals, std::size_t factor,
+                   double qlen_scale, double count_scale);
+
+  /// Feeds the next coarse interval; returns the imputed newest interval
+  /// once enough context has accumulated (ready == false before that).
+  StreamingOutput push(const CoarseIntervalUpdate& update);
+
+  /// Number of intervals consumed so far.
+  std::size_t intervals_seen() const { return intervals_seen_; }
+
+ private:
+  ImputationExample make_example() const;
+
+  std::shared_ptr<Imputer> base_;
+  std::size_t window_intervals_;
+  std::size_t factor_;
+  double qlen_scale_;
+  double count_scale_;
+  std::deque<CoarseIntervalUpdate> window_;
+  std::size_t intervals_seen_ = 0;
+};
+
+}  // namespace fmnet::impute

@@ -1,0 +1,162 @@
+#include "impute/transformer_imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace fmnet::impute {
+
+using tensor::Tensor;
+
+TransformerImputer::TransformerImputer(nn::TransformerConfig model_config,
+                                       TrainConfig train_config)
+    : model_config_(model_config),
+      train_config_(train_config),
+      rng_(train_config.seed) {
+  FMNET_CHECK_EQ(model_config_.input_channels,
+                 static_cast<std::int64_t>(telemetry::kNumInputChannels));
+  model_ = std::make_unique<nn::ImputationTransformer>(model_config_, rng_);
+}
+
+Tensor TransformerImputer::batch_features(
+    const std::vector<ImputationExample>& examples,
+    const std::vector<std::size_t>& indices) const {
+  const auto b = static_cast<std::int64_t>(indices.size());
+  const auto t = static_cast<std::int64_t>(examples[indices[0]].window);
+  const auto c =
+      static_cast<std::int64_t>(telemetry::kNumInputChannels);
+  std::vector<float> data;
+  data.reserve(static_cast<std::size_t>(b * t * c));
+  for (const std::size_t i : indices) {
+    FMNET_CHECK_EQ(examples[i].features.size(),
+                   static_cast<std::size_t>(t * c));
+    data.insert(data.end(), examples[i].features.begin(),
+                examples[i].features.end());
+  }
+  return Tensor::from_vector(std::move(data), {b, t, c});
+}
+
+Tensor TransformerImputer::batch_targets(
+    const std::vector<ImputationExample>& examples,
+    const std::vector<std::size_t>& indices) const {
+  const auto b = static_cast<std::int64_t>(indices.size());
+  const auto t = static_cast<std::int64_t>(examples[indices[0]].window);
+  std::vector<float> data;
+  data.reserve(static_cast<std::size_t>(b * t));
+  for (const std::size_t i : indices) {
+    data.insert(data.end(), examples[i].target.begin(),
+                examples[i].target.end());
+  }
+  return Tensor::from_vector(std::move(data), {b, t});
+}
+
+TrainStats TransformerImputer::train(
+    const std::vector<ImputationExample>& examples) {
+  FMNET_CHECK(!examples.empty(), "empty training set");
+  const std::size_t n = examples.size();
+  model_->set_training(true);
+
+  nn::Adam opt(model_->parameters(), train_config_.lr);
+  nn::KalState kal_state(n, train_config_.kal_mu);
+
+  TrainStats stats;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    // Cosine learning-rate decay.
+    if (train_config_.epochs > 1 && train_config_.lr_final_fraction < 1.0f) {
+      const float progress = static_cast<float>(epoch) /
+                             static_cast<float>(train_config_.epochs - 1);
+      const float floor = train_config_.lr * train_config_.lr_final_fraction;
+      opt.set_lr(floor + 0.5f * (train_config_.lr - floor) *
+                             (1.0f + std::cos(progress *
+                                              3.14159265358979f)));
+    }
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = n; i-- > 1;) {
+      std::swap(order[i], order[rng_.uniform_int(
+                              0, static_cast<std::int64_t>(i))]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n;
+         begin += static_cast<std::size_t>(train_config_.batch_size)) {
+      const std::size_t end =
+          std::min(n, begin + static_cast<std::size_t>(
+                                  train_config_.batch_size));
+      const std::vector<std::size_t> batch(order.begin() + begin,
+                                           order.begin() + end);
+      const Tensor x = batch_features(examples, batch);
+      const Tensor y = batch_targets(examples, batch);
+
+      model_->zero_grad();
+      const Tensor pred = model_->forward(x, rng_);
+      Tensor loss = train_config_.loss == TrainConfig::Loss::kEmd
+                        ? nn::emd_loss(pred, y)
+                        : nn::mse_loss(pred, y);
+      if (train_config_.use_kal) {
+        Tensor penalty = Tensor::scalar(0.0f);
+        for (std::size_t b = 0; b < batch.size(); ++b) {
+          const std::size_t ex_idx = batch[b];
+          const Tensor row = tensor::reshape(
+              tensor::slice(pred, 0, static_cast<std::int64_t>(b),
+                            static_cast<std::int64_t>(b) + 1),
+              {static_cast<std::int64_t>(examples[ex_idx].window)});
+          const nn::KalTerms terms = nn::kal_penalty(
+              row, examples[ex_idx].constraints,
+              kal_state.lambda_eq(ex_idx), kal_state.lambda_ineq(ex_idx),
+              kal_state.mu());
+          penalty = penalty + terms.penalty;
+          kal_state.update(ex_idx, terms.phi, terms.psi);
+        }
+        loss = loss + tensor::mul_scalar(
+                          penalty, train_config_.kal_weight /
+                                       static_cast<float>(batch.size()));
+      }
+      epoch_loss += loss.item();
+      ++batches;
+      loss.backward();
+      opt.clip_grad_norm(train_config_.grad_clip);
+      opt.step();
+    }
+    stats.epoch_loss.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    if (train_config_.verbose) {
+      std::printf("[%s] epoch %3d loss %.5f phi %.4f psi %.4f\n",
+                  name().c_str(), epoch, stats.epoch_loss.back(),
+                  kal_state.mean_phi(), kal_state.mean_psi());
+    }
+  }
+  stats.final_mean_phi = kal_state.mean_phi();
+  stats.final_mean_psi = kal_state.mean_psi();
+  model_->set_training(false);
+  return stats;
+}
+
+std::vector<double> TransformerImputer::impute(const ImputationExample& ex) {
+  model_->set_training(false);
+  const auto t = static_cast<std::int64_t>(ex.window);
+  const Tensor x = Tensor::from_vector(
+      ex.features,
+      {1, t, static_cast<std::int64_t>(telemetry::kNumInputChannels)});
+  fmnet::Rng eval_rng(0);  // dropout disabled at eval; rng unused
+  const Tensor pred = model_->forward(x, eval_rng);
+  std::vector<double> out(static_cast<std::size_t>(t));
+  for (std::int64_t i = 0; i < t; ++i) {
+    // Denormalise to packets and clamp at zero (queue lengths are
+    // non-negative).
+    out[static_cast<std::size_t>(i)] =
+        std::max(0.0, static_cast<double>(pred.data()[static_cast<
+                          std::size_t>(i)]) *
+                          ex.qlen_scale);
+  }
+  return out;
+}
+
+}  // namespace fmnet::impute

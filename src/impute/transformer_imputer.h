@@ -1,0 +1,73 @@
+// Transformer-based telemetry imputation (paper §2.2 and Fig. 3): an
+// encoder-only transformer ingests the per-step coarse features and emits
+// the fine-grained queue-length series; trained with EMD loss, optionally
+// augmented with the Knowledge-Augmented Loss (§3.1).
+#pragma once
+
+#include <memory>
+
+#include "impute/imputer.h"
+#include "nn/kal.h"
+#include "nn/optim.h"
+#include "nn/transformer.h"
+
+namespace fmnet::impute {
+
+struct TrainConfig {
+  int epochs = 30;
+  int batch_size = 8;
+  float lr = 3e-3f;
+  /// Cosine-decay floor: the learning rate anneals from `lr` to
+  /// `lr * lr_final_fraction` across the epochs (1.0 = constant).
+  float lr_final_fraction = 0.1f;
+  float grad_clip = 1.0f;
+  enum class Loss { kEmd, kMse } loss = Loss::kEmd;
+  /// Knowledge-Augmented Loss: augmented-Lagrangian constraint penalties.
+  bool use_kal = false;
+  float kal_mu = 0.5f;
+  /// Global weight multiplying the KAL penalty in the loss.
+  float kal_weight = 1.0f;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<float> epoch_loss;
+  float final_mean_phi = 0.0f;  // mean C1+C2 violation after training
+  float final_mean_psi = 0.0f;  // mean C3 violation after training
+};
+
+/// The "Transformer" and "Transformer+KAL" rows of Table 1, selected by
+/// TrainConfig::use_kal.
+class TransformerImputer : public Imputer {
+ public:
+  TransformerImputer(nn::TransformerConfig model_config,
+                     TrainConfig train_config);
+
+  /// Trains on the given examples (each example keeps a stable index for
+  /// its per-example Lagrange multipliers).
+  TrainStats train(const std::vector<ImputationExample>& examples);
+
+  std::string name() const override {
+    return train_config_.use_kal ? "Transformer+KAL" : "Transformer";
+  }
+  std::vector<double> impute(const ImputationExample& ex) override;
+
+  nn::ImputationTransformer& model() { return *model_; }
+  const TrainConfig& train_config() const { return train_config_; }
+
+ private:
+  tensor::Tensor batch_features(
+      const std::vector<ImputationExample>& examples,
+      const std::vector<std::size_t>& indices) const;
+  tensor::Tensor batch_targets(
+      const std::vector<ImputationExample>& examples,
+      const std::vector<std::size_t>& indices) const;
+
+  nn::TransformerConfig model_config_;
+  TrainConfig train_config_;
+  std::unique_ptr<nn::ImputationTransformer> model_;
+  fmnet::Rng rng_;
+};
+
+}  // namespace fmnet::impute

@@ -1,0 +1,96 @@
+#include "nn/gru.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace fmnet::nn {
+
+using namespace fmnet::tensor;  // NOLINT: op vocabulary
+
+GruCell::GruCell(std::int64_t input_size, std::int64_t hidden_size,
+                 fmnet::Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      xz_(input_size, hidden_size, rng),
+      hz_(hidden_size, hidden_size, rng),
+      xr_(input_size, hidden_size, rng),
+      hr_(hidden_size, hidden_size, rng),
+      xh_(input_size, hidden_size, rng),
+      hh_(hidden_size, hidden_size, rng) {
+  FMNET_CHECK_GT(input_size, 0);
+  FMNET_CHECK_GT(hidden_size, 0);
+}
+
+Tensor GruCell::forward(const Tensor& x, const Tensor& h) const {
+  FMNET_CHECK_EQ(x.ndim(), 2u);
+  FMNET_CHECK_EQ(x.shape().back(), input_size_);
+  FMNET_CHECK_EQ(h.shape().back(), hidden_size_);
+  const Tensor z = sigmoid(xz_.forward(x) + hz_.forward(h));
+  const Tensor r = sigmoid(xr_.forward(x) + hr_.forward(h));
+  const Tensor cand = tanh(xh_.forward(x) + hh_.forward(r * h));
+  const Tensor one_minus_z = add_scalar(neg(z), 1.0f);
+  return one_minus_z * h + z * cand;
+}
+
+std::vector<Tensor> GruCell::parameters() const {
+  std::vector<Tensor> ps;
+  for (const Linear* lin : {&xz_, &hz_, &xr_, &hr_, &xh_, &hh_}) {
+    for (Tensor p : lin->parameters()) ps.push_back(std::move(p));
+  }
+  return ps;
+}
+
+BiGruImputerNet::BiGruImputerNet(std::int64_t input_channels,
+                                 std::int64_t hidden_size, fmnet::Rng& rng)
+    : input_channels_(input_channels),
+      hidden_size_(hidden_size),
+      fwd_(input_channels, hidden_size, rng),
+      bwd_(input_channels, hidden_size, rng),
+      head_(2 * hidden_size, 1, rng) {}
+
+Tensor BiGruImputerNet::forward(const Tensor& x) const {
+  FMNET_CHECK_EQ(x.ndim(), 3u);
+  FMNET_CHECK_EQ(x.dim(2), input_channels_);
+  const std::int64_t b = x.dim(0);
+  const std::int64_t t_len = x.dim(1);
+
+  auto step_input = [&](std::int64_t t) {
+    return reshape(tensor::slice(x, 1, t, t + 1), {b, input_channels_});
+  };
+
+  std::vector<Tensor> fwd_states(static_cast<std::size_t>(t_len));
+  Tensor h = Tensor::zeros({b, hidden_size_});
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    h = fwd_.forward(step_input(t), h);
+    fwd_states[static_cast<std::size_t>(t)] = h;
+  }
+  std::vector<Tensor> bwd_states(static_cast<std::size_t>(t_len));
+  h = Tensor::zeros({b, hidden_size_});
+  for (std::int64_t t = t_len; t-- > 0;) {
+    h = bwd_.forward(step_input(t), h);
+    bwd_states[static_cast<std::size_t>(t)] = h;
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<std::size_t>(t_len));
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    const Tensor joint =
+        cat({fwd_states[static_cast<std::size_t>(t)],
+             bwd_states[static_cast<std::size_t>(t)]},
+            1);                                    // [B, 2H]
+    outputs.push_back(head_.forward(joint));       // [B, 1]
+  }
+  return reshape(cat(outputs, 1), {b, t_len});     // [B, T]
+}
+
+std::vector<Tensor> BiGruImputerNet::parameters() const {
+  std::vector<Tensor> ps;
+  for (const Module* m :
+       {static_cast<const Module*>(&fwd_), static_cast<const Module*>(&bwd_),
+        static_cast<const Module*>(&head_)}) {
+    for (Tensor p : m->parameters()) ps.push_back(std::move(p));
+  }
+  return ps;
+}
+
+}  // namespace fmnet::nn

@@ -1,0 +1,57 @@
+// Gated recurrent units — the classic sequence architecture the paper's
+// transformer choice (§2.2) implicitly competes with. FMNet provides a
+// bidirectional GRU encoder as an architecture baseline so the "is the
+// transformer actually the right model?" question is answerable
+// empirically (bench/ablation_architecture).
+#pragma once
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace fmnet::nn {
+
+/// One GRU cell:  z = σ(x W_z + h U_z + b_z)
+///                r = σ(x W_r + h U_r + b_r)
+///                ĥ = tanh(x W_h + (r ⊙ h) U_h + b_h)
+///                h' = (1 − z) ⊙ h + z ⊙ ĥ
+class GruCell : public Module {
+ public:
+  GruCell(std::int64_t input_size, std::int64_t hidden_size,
+          fmnet::Rng& rng);
+
+  /// x: [B, input], h: [B, hidden] -> new h: [B, hidden].
+  Tensor forward(const Tensor& x, const Tensor& h) const;
+
+  std::vector<Tensor> parameters() const override;
+  std::int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  std::int64_t input_size_;
+  std::int64_t hidden_size_;
+  Linear xz_, hz_;
+  Linear xr_, hr_;
+  Linear xh_, hh_;
+};
+
+/// Bidirectional single-layer GRU over [B, T, C] inputs with a linear head
+/// emitting one value per step: the recurrent counterpart of
+/// ImputationTransformer.
+class BiGruImputerNet : public Module {
+ public:
+  BiGruImputerNet(std::int64_t input_channels, std::int64_t hidden_size,
+                  fmnet::Rng& rng);
+
+  /// x: [B, T, C] -> [B, T].
+  Tensor forward(const Tensor& x) const;
+
+  std::vector<Tensor> parameters() const override;
+
+ private:
+  std::int64_t input_channels_;
+  std::int64_t hidden_size_;
+  GruCell fwd_;
+  GruCell bwd_;
+  Linear head_;  // [2H] -> 1
+};
+
+}  // namespace fmnet::nn

@@ -1,0 +1,127 @@
+#include "nn/kal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace fmnet::nn {
+
+using namespace fmnet::tensor;  // NOLINT: op vocabulary
+
+KalTerms kal_penalty(const Tensor& pred, const ExampleConstraints& c,
+                     float lambda_eq, float lambda_ineq, float mu) {
+  FMNET_CHECK_EQ(pred.ndim(), 1u);
+  const std::int64_t t_len = pred.dim(0);
+  FMNET_CHECK_GT(c.coarse_factor, 0);
+  FMNET_CHECK_EQ(t_len % c.coarse_factor, 0);
+  const std::int64_t windows = t_len / c.coarse_factor;
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(c.window_max.size()), windows);
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(c.port_sent.size()), windows);
+  FMNET_CHECK_EQ(c.sample_idx.size(), c.sample_val.size());
+
+  // Φ: equality violations (C1 per-window max, C2 sampled points).
+  Tensor phi = Tensor::scalar(0.0f);
+  for (std::int64_t w = 0; w < windows; ++w) {
+    const Tensor win =
+        tensor::slice(pred, 0, w * c.coarse_factor, (w + 1) * c.coarse_factor);
+    const Tensor wmax = max_all(win);
+    phi = phi + abs(add_scalar(wmax, -c.window_max[static_cast<std::size_t>(
+                                          w)]));
+  }
+  for (std::size_t s = 0; s < c.sample_idx.size(); ++s) {
+    const std::int64_t idx = c.sample_idx[s];
+    FMNET_CHECK(idx >= 0 && idx < t_len, "sample index out of range");
+    const Tensor at = tensor::slice(pred, 0, idx, idx + 1);
+    phi = phi + sum(abs(add_scalar(at, -c.sample_val[s])));
+  }
+
+  // Ψ: per-window hinge of (soft non-empty count − packets sent).
+  Tensor psi = Tensor::scalar(0.0f);
+  for (std::int64_t w = 0; w < windows; ++w) {
+    const Tensor win =
+        tensor::slice(pred, 0, w * c.coarse_factor, (w + 1) * c.coarse_factor);
+    const Tensor soft_ne =
+        sum(tanh(mul_scalar(relu(win), c.ne_tanh_scale)));
+    psi = psi +
+          relu(add_scalar(soft_ne,
+                          -c.port_sent[static_cast<std::size_t>(w)]));
+  }
+
+  KalTerms terms;
+  terms.phi = phi.item();
+  terms.psi = psi.item();
+  const bool active = lambda_ineq > 0.0f || terms.psi > 0.0f;
+  Tensor penalty = mul_scalar(square(phi), mu) + mul_scalar(phi, lambda_eq) +
+                   mul_scalar(psi, lambda_ineq);
+  if (active) penalty = penalty + mul_scalar(square(psi), mu);
+  terms.penalty = penalty;
+  return terms;
+}
+
+KalState::KalState(std::size_t num_examples, float mu)
+    : mu_(mu),
+      lambda_eq_(num_examples, 0.0f),
+      lambda_ineq_(num_examples, 0.0f),
+      last_phi_(num_examples, 0.0f),
+      last_psi_(num_examples, 0.0f) {
+  FMNET_CHECK_GT(mu, 0.0f);
+  FMNET_CHECK_GT(num_examples, 0u);
+}
+
+void KalState::update(std::size_t i, float phi, float psi) {
+  FMNET_CHECK_LT(i, lambda_eq_.size());
+  lambda_eq_[i] += mu_ * phi;
+  lambda_ineq_[i] = std::max(0.0f, lambda_ineq_[i] + mu_ * psi);
+  last_phi_[i] = phi;
+  last_psi_[i] = psi;
+}
+
+float KalState::mean_phi() const {
+  double acc = 0.0;
+  for (const float x : last_phi_) acc += x;
+  return static_cast<float>(acc / static_cast<double>(last_phi_.size()));
+}
+
+float KalState::mean_psi() const {
+  double acc = 0.0;
+  for (const float x : last_psi_) acc += x;
+  return static_cast<float>(acc / static_cast<double>(last_psi_.size()));
+}
+
+ConstraintViolations evaluate_constraints(const std::vector<double>& pred,
+                                          const ExampleConstraints& c) {
+  ConstraintViolations v;
+  const auto t_len = static_cast<std::int64_t>(pred.size());
+  FMNET_CHECK_GT(c.coarse_factor, 0);
+  FMNET_CHECK_EQ(t_len % c.coarse_factor, 0);
+  const std::int64_t windows = t_len / c.coarse_factor;
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(c.window_max.size()), windows);
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(c.port_sent.size()), windows);
+
+  for (std::int64_t w = 0; w < windows; ++w) {
+    double wmax = 0.0;
+    std::int64_t ne = 0;
+    for (std::int64_t t = w * c.coarse_factor; t < (w + 1) * c.coarse_factor;
+         ++t) {
+      const double q = pred[static_cast<std::size_t>(t)];
+      wmax = std::max(wmax, q);
+      if (q > 0.0) ++ne;
+    }
+    v.max_violation +=
+        std::abs(wmax - c.window_max[static_cast<std::size_t>(w)]);
+    v.sent_violation += std::max(
+        0.0, static_cast<double>(ne) -
+                 static_cast<double>(c.port_sent[static_cast<std::size_t>(w)]));
+  }
+  for (std::size_t s = 0; s < c.sample_idx.size(); ++s) {
+    v.periodic_violation +=
+        std::abs(pred[static_cast<std::size_t>(c.sample_idx[s])] -
+                 static_cast<double>(c.sample_val[s]));
+  }
+  return v;
+}
+
+}  // namespace fmnet::nn

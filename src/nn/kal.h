@@ -1,0 +1,107 @@
+// Knowledge-Augmented Loss (paper §3.1).
+//
+// The transformer's EMD loss is augmented with penalty terms for the three
+// switch constraints the paper selects because they are directly evaluable
+// on the model output:
+//
+//   C1 (max):       max_{t in window} Q̂[t] = m_max_window          (equality)
+//   C2 (periodic):  Q̂[t] = m_len_t for sampled t                   (equality)
+//   C3 (work conservation): NE = #non-empty steps <= m_out (packets sent)
+//                                                              (inequality)
+//
+// Per example i we aggregate equality violations into a scalar
+//   Φ_i = Σ_w |max_{t∈w} Q̂ - m_max_w| + Σ_{t∈samples} |Q̂_t - m_len_t|
+// and inequality violations into
+//   Ψ_i = Σ_w relu( Σ_{t∈w} tanh(k·relu(Q̂_t)) - m_out_w )
+// (the tanh soft-counts non-empty steps, the per-window hinge strengthens
+// the paper's single Ψ so a violation in one interval cannot be masked by
+// slack in another).
+//
+// The loss follows the augmented Lagrangian method:
+//   L = EMD + Σ_i [ μΦ_i² + λ_eq,i Φ_i + λ_ineq,i Ψ_i
+//                   + μ·[λ_ineq,i>0 ∨ Ψ_i>0]·Ψ_i² ]
+// with per-example multipliers updated after each epoch:
+//   λ_eq,i   += μ·Φ_i         λ_ineq,i = max(0, λ_ineq,i + μ·Ψ_i)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fmnet::nn {
+
+using tensor::Tensor;
+
+/// Constraint data for one training example (one queue, one fine window),
+/// in the same normalised units as the model output.
+struct ExampleConstraints {
+  /// C2: fine-step indices that were periodically sampled, and the sampled
+  /// values.
+  std::vector<std::int64_t> sample_idx;
+  std::vector<float> sample_val;
+  /// C1: per-coarse-interval maximum queue length (LANZ).
+  std::vector<float> window_max;
+  /// C3: per-coarse-interval packets sent by the port (SNMP), expressed in
+  /// "fine steps" units (i.e. already min'd with the interval length).
+  std::vector<float> port_sent;
+  /// Fine steps per coarse interval.
+  std::int64_t coarse_factor = 50;
+  /// Sharpness k of the tanh soft non-emptiness indicator. Should be large
+  /// enough that one packet's worth of normalised queue length saturates.
+  float ne_tanh_scale = 200.0f;
+};
+
+/// Differentiable penalty for one example. `pred` is the [T] model output.
+/// Also reports the scalar violations for the multiplier update.
+struct KalTerms {
+  Tensor penalty;  // scalar tensor, part of the loss
+  float phi = 0.0f;
+  float psi = 0.0f;
+};
+
+KalTerms kal_penalty(const Tensor& pred, const ExampleConstraints& c,
+                     float lambda_eq, float lambda_ineq, float mu);
+
+/// Per-example Lagrange multiplier state across the dataset.
+class KalState {
+ public:
+  KalState(std::size_t num_examples, float mu);
+
+  float lambda_eq(std::size_t i) const { return lambda_eq_.at(i); }
+  float lambda_ineq(std::size_t i) const { return lambda_ineq_.at(i); }
+  float mu() const { return mu_; }
+
+  /// Augmented-Lagrangian multiplier update for example i given its current
+  /// violations.
+  void update(std::size_t i, float phi, float psi);
+
+  /// Mean violation magnitudes (diagnostics).
+  float mean_phi() const;
+  float mean_psi() const;
+
+ private:
+  float mu_;
+  std::vector<float> lambda_eq_;
+  std::vector<float> lambda_ineq_;
+  std::vector<float> last_phi_;
+  std::vector<float> last_psi_;
+};
+
+/// Evaluates C1/C2/C3 violations of a *final* (non-differentiable) imputed
+/// series, used by evaluation code; same semantics as kal_penalty but on
+/// plain doubles and with a hard non-emptiness test.
+struct ConstraintViolations {
+  double max_violation = 0.0;       // Σ_w |max - m_max_w|
+  double periodic_violation = 0.0;  // Σ_samples |q - m_len|
+  double sent_violation = 0.0;      // Σ_w relu(NE_w - m_out_w)
+  bool satisfied(double tol = 1e-6) const {
+    return max_violation <= tol && periodic_violation <= tol &&
+           sent_violation <= tol;
+  }
+};
+
+ConstraintViolations evaluate_constraints(const std::vector<double>& pred,
+                                          const ExampleConstraints& c);
+
+}  // namespace fmnet::nn

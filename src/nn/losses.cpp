@@ -1,0 +1,29 @@
+#include "nn/losses.h"
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace fmnet::nn {
+
+using namespace fmnet::tensor;  // NOLINT: op vocabulary
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  FMNET_CHECK(pred.shape() == target.shape(), "loss shape mismatch");
+  return mean(square(pred - target));
+}
+
+Tensor mae_loss(const Tensor& pred, const Tensor& target) {
+  FMNET_CHECK(pred.shape() == target.shape(), "loss shape mismatch");
+  return mean(abs(pred - target));
+}
+
+Tensor emd_loss(const Tensor& pred, const Tensor& target) {
+  FMNET_CHECK(pred.shape() == target.shape(), "loss shape mismatch");
+  FMNET_CHECK(pred.ndim() == 1 || pred.ndim() == 2,
+              "emd_loss expects [T] or [B, T]");
+  const std::size_t time_axis = pred.ndim() - 1;
+  const Tensor diff_cdf = cumsum(pred - target, time_axis);
+  return mean(abs(diff_cdf));
+}
+
+}  // namespace fmnet::nn

@@ -1,0 +1,27 @@
+// Training losses. The paper trains the imputation transformer with EMD
+// (Earth Mover's Distance) rather than MSE because MSE averages plausible
+// solutions into over-smooth series and mislocates bursts (§4); both are
+// provided so the ablation bench can compare them.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace fmnet::nn {
+
+using tensor::Tensor;
+
+/// Mean squared error over all elements; pred and target share a shape.
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error over all elements.
+Tensor mae_loss(const Tensor& pred, const Tensor& target);
+
+/// 1-D Earth Mover's Distance along the time axis, averaged over the batch:
+///   EMD(a, b) = (1/T) * sum_t | sum_{s<=t} (a_s - b_s) |
+/// For non-negative series this is the Mallows/Wasserstein-1 distance
+/// between their (unnormalised) mass profiles; it penalises misplaced mass
+/// by how far it must travel, which is what makes it locate bursts well.
+/// pred/target: [B, T] (or [T]).
+Tensor emd_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace fmnet::nn

@@ -1,0 +1,17 @@
+#include "nn/module.h"
+
+namespace fmnet::nn {
+
+void Module::zero_grad() const {
+  for (Tensor p : parameters()) p.zero_grad();
+}
+
+std::size_t Module::num_parameters() const {
+  std::size_t n = 0;
+  for (const Tensor& p : parameters()) {
+    n += static_cast<std::size_t>(p.numel());
+  }
+  return n;
+}
+
+}  // namespace fmnet::nn

@@ -1,0 +1,96 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fmnet::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    FMNET_CHECK(p.defined() && p.requires_grad(),
+                "optimizer parameters must require grad");
+  }
+}
+
+float Optimizer::clip_grad_norm(float max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    const auto& g = p.node()->grad;
+    for (const float x : g) sq += static_cast<double>(x) * x;
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      for (float& x : p.node()->grad) x *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& node = *params_[i].node();
+    if (node.grad.empty()) continue;
+    if (momentum_ != 0.0f) {
+      if (velocity_[i].size() != node.data.size()) {
+        velocity_[i].assign(node.data.size(), 0.0f);
+      }
+      for (std::size_t j = 0; j < node.data.size(); ++j) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + node.grad[j];
+        node.data[j] -= lr_ * velocity_[i][j];
+      }
+    } else {
+      for (std::size_t j = 0; j < node.data.size(); ++j) {
+        node.data[j] -= lr_ * node.grad[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& node = *params_[i].node();
+    if (node.grad.empty()) continue;
+    if (m_[i].size() != node.data.size()) {
+      m_[i].assign(node.data.size(), 0.0f);
+      v_[i].assign(node.data.size(), 0.0f);
+    }
+    for (std::size_t j = 0; j < node.data.size(); ++j) {
+      const float g = node.grad[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][j] / bias1;
+      const float vhat = v_[i][j] / bias2;
+      float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f) {
+        update += lr_ * weight_decay_ * node.data[j];
+      }
+      node.data[j] -= update;
+    }
+  }
+}
+
+}  // namespace fmnet::nn

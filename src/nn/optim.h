@@ -1,0 +1,65 @@
+// First-order optimisers over Module parameters.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fmnet::nn {
+
+using tensor::Tensor;
+
+/// Common optimiser interface: call backward() on the loss, then step(),
+/// then zero_grad() on the module.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters. Parameters whose grad buffer is empty are skipped.
+  virtual void step() = 0;
+
+  /// Clips the global L2 norm of all gradients to `max_norm`; returns the
+  /// pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW when
+/// weight_decay > 0).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace fmnet::nn

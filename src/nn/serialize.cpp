@@ -1,0 +1,61 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace fmnet::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x464d4e31;  // "FMN1"
+
+template <class T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FMNET_CHECK(in.good(), "unexpected end of checkpoint file");
+  return v;
+}
+}  // namespace
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FMNET_CHECK(out.good(), "cannot open " + path + " for writing");
+  const auto params = module.parameters();
+  write_pod(out, kMagic);
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const Tensor& p : params) {
+    write_pod(out, static_cast<std::uint64_t>(p.ndim()));
+    for (const std::int64_t d : p.shape()) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(p.data().size() * sizeof(float)));
+  }
+  FMNET_CHECK(out.good(), "write to " + path + " failed");
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FMNET_CHECK(in.good(), "cannot open " + path + " for reading");
+  FMNET_CHECK_EQ(read_pod<std::uint32_t>(in), kMagic);
+  auto params = module.parameters();
+  const auto count = read_pod<std::uint64_t>(in);
+  FMNET_CHECK_EQ(count, params.size());
+  for (Tensor& p : params) {
+    const auto ndim = read_pod<std::uint64_t>(in);
+    FMNET_CHECK_EQ(ndim, p.ndim());
+    for (std::size_t d = 0; d < ndim; ++d) {
+      FMNET_CHECK_EQ(read_pod<std::int64_t>(in), p.shape()[d]);
+    }
+    in.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(p.data().size() * sizeof(float)));
+    FMNET_CHECK(in.good(), "unexpected end of checkpoint file");
+  }
+}
+
+}  // namespace fmnet::nn

@@ -1,0 +1,19 @@
+// Binary (de)serialisation of module parameters, so trained imputers can be
+// checkpointed and reloaded by examples and benches.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace fmnet::nn {
+
+/// Writes all parameters of `module` to `path` (magic + per-tensor shape +
+/// float data, little-endian host order). Throws CheckError on I/O failure.
+void save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by save_parameters into `module`. The module must
+/// have identical architecture: tensor count and shapes are verified.
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace fmnet::nn

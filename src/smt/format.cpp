@@ -1,0 +1,72 @@
+#include "smt/format.h"
+
+#include <sstream>
+
+namespace fmnet::smt {
+
+namespace {
+const char* cmp_str(Cmp c) {
+  switch (c) {
+    case Cmp::kLe:
+      return "<=";
+    case Cmp::kGe:
+      return ">=";
+    case Cmp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+void render_terms(
+    std::ostringstream& os,
+    const std::vector<std::pair<std::int64_t, std::int32_t>>& terms,
+    const Model& m) {
+  os << "(+";
+  for (const auto& [coef, var] : terms) {
+    os << " (* " << coef << " " << m.name(VarId{var}) << ")";
+  }
+  os << ")";
+}
+}  // namespace
+
+std::string to_smtlib(const Model& model) {
+  std::ostringstream os;
+  for (std::size_t v = 0; v < model.num_vars(); ++v) {
+    const VarId id{static_cast<std::int32_t>(v)};
+    os << "(declare-const " << model.name(id) << " Int)  ; ["
+       << model.lower_bound(id) << ", " << model.upper_bound(id) << "]\n";
+  }
+  for (const LinearConstraint& c : model.linear_constraints()) {
+    os << "(assert ";
+    if (c.guard_var >= 0) {
+      os << "(=> (= " << model.name(VarId{c.guard_var}) << " "
+         << (c.guard_value ? 1 : 0) << ") ";
+    }
+    os << "(" << cmp_str(c.cmp) << " ";
+    render_terms(os, c.terms, model);
+    os << " " << c.rhs << ")";
+    if (c.guard_var >= 0) os << ")";
+    os << ")\n";
+  }
+  for (const auto& clause : model.clauses()) {
+    os << "(assert (or";
+    for (const BoolLit& l : clause) {
+      if (l.positive) {
+        os << " (= " << model.name(l.var) << " 1)";
+      } else {
+        os << " (= " << model.name(l.var) << " 0)";
+      }
+    }
+    os << "))\n";
+  }
+  if (model.has_objective()) {
+    os << "(minimize (+ " << model.objective().constant();
+    for (const auto& [coef, var] : model.objective().terms()) {
+      os << " (* " << coef << " " << model.name(var) << ")";
+    }
+    os << "))\n";
+  }
+  return os.str();
+}
+
+}  // namespace fmnet::smt

@@ -1,0 +1,14 @@
+// Debug rendering of smtlite models in an SMT-LIB-flavoured text form.
+#pragma once
+
+#include <string>
+
+#include "smt/model.h"
+
+namespace fmnet::smt {
+
+/// Renders variable declarations, constraints, clauses and the objective of
+/// a Model; intended for logging and test diagnostics, not for parsing.
+std::string to_smtlib(const Model& model);
+
+}  // namespace fmnet::smt

@@ -1,0 +1,375 @@
+#include "smt/solver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace fmnet::smt {
+
+namespace {
+// Floor division for possibly-negative operands (C++ '/' truncates).
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+}  // namespace
+
+Solver::Solver(const Model& model, Budget budget)
+    : model_(model), budget_(budget) {
+  lo_ = model.lower_bounds();
+  hi_ = model.upper_bounds();
+
+  // Normalise every linear constraint to <= form (Eq splits into two).
+  for (const LinearConstraint& c : model.linear_constraints()) {
+    auto push = [&](bool negate) {
+      NormalisedConstraint n;
+      n.rhs = negate ? -c.rhs : c.rhs;
+      n.guard_var = c.guard_var;
+      n.guard_value = c.guard_value;
+      n.terms.reserve(c.terms.size());
+      for (const auto& [coef, var] : c.terms) {
+        n.terms.emplace_back(negate ? -coef : coef, var);
+      }
+      constraints_.push_back(std::move(n));
+    };
+    switch (c.cmp) {
+      case Cmp::kLe:
+        push(false);
+        break;
+      case Cmp::kGe:
+        push(true);
+        break;
+      case Cmp::kEq:
+        push(false);
+        push(true);
+        break;
+    }
+  }
+
+  var_to_constraints_.resize(lo_.size());
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    for (const auto& [coef, var] : constraints_[i].terms) {
+      var_to_constraints_[var].push_back(i);
+    }
+    if (constraints_[i].guard_var >= 0) {
+      var_to_constraints_[constraints_[i].guard_var].push_back(i);
+    }
+  }
+  var_to_clauses_.resize(lo_.size());
+  const auto& clauses = model.clauses();
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    for (const BoolLit& l : clauses[i]) {
+      var_to_clauses_[l.var.id].push_back(i);
+    }
+  }
+  constraint_dirty_flag_.assign(constraints_.size(), 0);
+  clause_dirty_flag_.assign(clauses.size(), 0);
+}
+
+bool Solver::set_hi(std::int32_t var, std::int64_t value) {
+  if (value >= hi_[var]) return true;
+  trail_.push_back({var, true, hi_[var]});
+  hi_[var] = value;
+  if (lo_[var] > hi_[var]) return false;
+  for (const std::size_t ci : var_to_constraints_[var]) {
+    if (!constraint_dirty_flag_[ci]) {
+      constraint_dirty_flag_[ci] = 1;
+      dirty_constraints_.push_back(ci);
+    }
+  }
+  for (const std::size_t ci : var_to_clauses_[var]) {
+    if (!clause_dirty_flag_[ci]) {
+      clause_dirty_flag_[ci] = 1;
+      dirty_clauses_.push_back(ci);
+    }
+  }
+  return true;
+}
+
+bool Solver::set_lo(std::int32_t var, std::int64_t value) {
+  if (value <= lo_[var]) return true;
+  trail_.push_back({var, false, lo_[var]});
+  lo_[var] = value;
+  if (lo_[var] > hi_[var]) return false;
+  for (const std::size_t ci : var_to_constraints_[var]) {
+    if (!constraint_dirty_flag_[ci]) {
+      constraint_dirty_flag_[ci] = 1;
+      dirty_constraints_.push_back(ci);
+    }
+  }
+  for (const std::size_t ci : var_to_clauses_[var]) {
+    if (!clause_dirty_flag_[ci]) {
+      clause_dirty_flag_[ci] = 1;
+      dirty_clauses_.push_back(ci);
+    }
+  }
+  return true;
+}
+
+void Solver::undo_to(std::size_t mark) {
+  while (trail_.size() > mark) {
+    const TrailEntry& e = trail_.back();
+    (e.is_hi ? hi_ : lo_)[e.var] = e.old_value;
+    trail_.pop_back();
+  }
+}
+
+bool Solver::propagate_linear(std::size_t idx) {
+  const NormalisedConstraint& c = constraints_[idx];
+  // Guard handling.
+  bool active = true;
+  if (c.guard_var >= 0) {
+    const std::int64_t g_lo = lo_[c.guard_var];
+    const std::int64_t g_hi = hi_[c.guard_var];
+    const std::int64_t want = c.guard_value ? 1 : 0;
+    if (g_lo == g_hi) {
+      if (g_lo != want) return true;  // guard fixed opposite: inactive
+      // guard fixed to active value: enforce below
+    } else {
+      active = false;  // guard undecided: only infer the guard itself
+    }
+  }
+
+  // Minimum activity of Σ coef·var.
+  std::int64_t min_act = 0;
+  for (const auto& [coef, var] : c.terms) {
+    min_act += coef > 0 ? coef * lo_[var] : coef * hi_[var];
+  }
+
+  if (!active) {
+    // Guard undecided: if the constraint cannot hold, the guard must take
+    // the opposite value.
+    if (min_act > c.rhs) {
+      const std::int64_t opposite = c.guard_value ? 0 : 1;
+      if (opposite == 0) return set_hi(c.guard_var, 0);
+      return set_lo(c.guard_var, 1);
+    }
+    return true;
+  }
+
+  if (min_act > c.rhs) return false;  // violated
+
+  // Tighten each variable given the others at their minimum.
+  for (const auto& [coef, var] : c.terms) {
+    const std::int64_t contrib_min =
+        coef > 0 ? coef * lo_[var] : coef * hi_[var];
+    const std::int64_t slack = c.rhs - (min_act - contrib_min);
+    if (coef > 0) {
+      const std::int64_t new_hi = floor_div(slack, coef);
+      if (!set_hi(var, new_hi)) return false;
+    } else {
+      // coef < 0: coef*x <= slack  =>  x >= ceil(slack / coef)
+      const std::int64_t new_lo = -floor_div(slack, -coef);
+      if (!set_lo(var, new_lo)) return false;
+    }
+  }
+  return true;
+}
+
+bool Solver::propagate_clause(std::size_t idx) {
+  const auto& clause = model_.clauses()[idx];
+  std::int32_t unfixed = -1;
+  bool unfixed_positive = true;
+  int num_unfixed = 0;
+  for (const BoolLit& l : clause) {
+    const std::int64_t vlo = lo_[l.var.id];
+    const std::int64_t vhi = hi_[l.var.id];
+    if (vlo == vhi) {
+      const bool value = vlo == 1;
+      if (value == l.positive) return true;  // satisfied
+    } else {
+      ++num_unfixed;
+      unfixed = l.var.id;
+      unfixed_positive = l.positive;
+    }
+  }
+  if (num_unfixed == 0) return false;  // all literals false
+  if (num_unfixed == 1) {
+    // Unit: force the remaining literal true.
+    if (unfixed_positive) return set_lo(unfixed, 1);
+    return set_hi(unfixed, 0);
+  }
+  return true;
+}
+
+bool Solver::propagate() {
+  while (!dirty_constraints_.empty() || !dirty_clauses_.empty()) {
+    while (!dirty_constraints_.empty()) {
+      const std::size_t idx = dirty_constraints_.back();
+      dirty_constraints_.pop_back();
+      constraint_dirty_flag_[idx] = 0;
+      ++propagations_;
+      if (!propagate_linear(idx)) return false;
+    }
+    while (!dirty_clauses_.empty()) {
+      const std::size_t idx = dirty_clauses_.back();
+      dirty_clauses_.pop_back();
+      clause_dirty_flag_[idx] = 0;
+      ++propagations_;
+      if (!propagate_clause(idx)) return false;
+    }
+  }
+  return true;
+}
+
+std::int32_t Solver::pick_variable() const {
+  std::int32_t best = -1;
+  std::uint64_t best_size = 0;
+  for (std::size_t v = 0; v < lo_.size(); ++v) {
+    if (lo_[v] == hi_[v]) continue;
+    const auto size = static_cast<std::uint64_t>(hi_[v] - lo_[v]);
+    if (best < 0 || size < best_size) {
+      best = static_cast<std::int32_t>(v);
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+std::int64_t Solver::eval_objective() const {
+  std::int64_t obj = model_.objective().constant();
+  for (const auto& [coef, var] : model_.objective().terms()) {
+    obj += coef * lo_[var.id];
+  }
+  return obj;
+}
+
+SolveResult Solver::search() {
+  fmnet::Stopwatch clock;
+  SolveResult result;
+
+  // Root: mark everything dirty and reach the first fixpoint.
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (!constraint_dirty_flag_[i]) {
+      constraint_dirty_flag_[i] = 1;
+      dirty_constraints_.push_back(i);
+    }
+  }
+  for (std::size_t i = 0; i < model_.clauses().size(); ++i) {
+    if (!clause_dirty_flag_[i]) {
+      clause_dirty_flag_[i] = 1;
+      dirty_clauses_.push_back(i);
+    }
+  }
+  auto finish = [&](Status st) {
+    result.status = st;
+    result.decisions = decisions_;
+    result.propagations = propagations_;
+    result.conflicts = conflicts_;
+    result.seconds = clock.elapsed_seconds();
+    return result;
+  };
+
+  std::vector<Frame> stack;
+  bool conflict = !propagate();
+
+  while (true) {
+    if (decisions_ > budget_.max_decisions ||
+        clock.elapsed_seconds() > budget_.max_seconds) {
+      // Budget exhausted mid-search.
+      dirty_constraints_.clear();
+      dirty_clauses_.clear();
+      std::fill(constraint_dirty_flag_.begin(),
+                constraint_dirty_flag_.end(), 0);
+      std::fill(clause_dirty_flag_.begin(), clause_dirty_flag_.end(), 0);
+      undo_to(0);
+      return finish(Status::kUnknown);
+    }
+
+    if (conflict) {
+      ++conflicts_;
+      dirty_constraints_.clear();
+      dirty_clauses_.clear();
+      std::fill(constraint_dirty_flag_.begin(),
+                constraint_dirty_flag_.end(), 0);
+      std::fill(clause_dirty_flag_.begin(), clause_dirty_flag_.end(), 0);
+      // Backtrack to the deepest frame with an untried alternative.
+      while (!stack.empty() && stack.back().tried_alternative) {
+        undo_to(stack.back().trail_mark);
+        stack.pop_back();
+      }
+      if (stack.empty()) return finish(Status::kUnsat);
+      Frame& f = stack.back();
+      undo_to(f.trail_mark);
+      f.tried_alternative = true;
+      ++decisions_;
+      conflict = !set_lo(f.var, f.split + 1) || !propagate();
+      continue;
+    }
+
+    const std::int32_t var = pick_variable();
+    if (var < 0) {
+      // All variables fixed: feasible assignment.
+      result.assignment.assign(lo_.begin(), lo_.end());
+      if (model_.has_objective()) result.objective = eval_objective();
+      undo_to(0);
+      return finish(Status::kSat);
+    }
+
+    // Decision: split the domain, lower half first.
+    const std::int64_t split =
+        lo_[var] + (hi_[var] - lo_[var]) / 2;
+    stack.push_back({trail_.size(), var, split, false});
+    ++decisions_;
+    conflict = !set_hi(var, split) || !propagate();
+  }
+}
+
+SolveResult Solver::solve() { return search(); }
+
+SolveResult Solver::minimize() {
+  FMNET_CHECK(model_.has_objective(), "minimize() without an objective");
+  fmnet::Stopwatch clock;
+
+  // Branch & bound: repeatedly solve with a tightening objective cap,
+  // implemented as an extra normalised constraint whose rhs we update.
+  NormalisedConstraint cap;
+  cap.rhs = std::numeric_limits<std::int64_t>::max() / 4;
+  for (const auto& [coef, var] : model_.objective().terms()) {
+    cap.terms.emplace_back(coef, var.id);
+  }
+  const std::size_t cap_idx = constraints_.size();
+  constraints_.push_back(cap);
+  constraint_dirty_flag_.push_back(0);
+  for (const auto& [coef, var] : model_.objective().terms()) {
+    var_to_constraints_[var.id].push_back(cap_idx);
+  }
+
+  SolveResult best;
+  best.status = Status::kUnknown;
+  while (true) {
+    const double remaining = budget_.max_seconds - clock.elapsed_seconds();
+    if (remaining <= 0.0 || decisions_ > budget_.max_decisions) break;
+
+    SolveResult r = search();
+    if (r.status == Status::kSat) {
+      best.assignment = std::move(r.assignment);
+      best.objective = r.objective;  // includes the objective constant
+      best.status = Status::kSat;
+      // Require strictly better next time.
+      constraints_[cap_idx].rhs =
+          best.objective - model_.objective().constant() - 1;
+    } else if (r.status == Status::kUnsat) {
+      // No solution under the current cap: either the incumbent is optimal
+      // or the model was infeasible to begin with.
+      best.status =
+          best.status == Status::kSat ? Status::kOptimal : Status::kUnsat;
+      best.decisions = decisions_;
+      best.propagations = propagations_;
+      best.conflicts = conflicts_;
+      best.seconds = clock.elapsed_seconds();
+      return best;
+    } else {
+      break;  // budget inside search
+    }
+  }
+  best.decisions = decisions_;
+  best.propagations = propagations_;
+  best.conflicts = conflicts_;
+  best.seconds = clock.elapsed_seconds();
+  return best;  // kSat (feasible, not proven optimal) or kUnknown
+}
+
+}  // namespace fmnet::smt

@@ -1,0 +1,111 @@
+// smtlite solver: bounds-consistency propagation + complete DFS search
+// with chronological backtracking, and branch-and-bound minimisation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "smt/model.h"
+
+namespace fmnet::smt {
+
+/// Search limits. Exceeding any limit stops the search with an UNKNOWN /
+/// best-so-far result instead of a definitive answer.
+struct Budget {
+  std::int64_t max_decisions = 50'000'000;
+  double max_seconds = 3600.0;
+};
+
+/// Outcome of a solve() / minimize() call.
+enum class Status {
+  kSat,      // feasible assignment found (optimality not proven)
+  kOptimal,  // minimize(): best assignment proven optimal
+  kUnsat,    // proven infeasible
+  kUnknown,  // budget exhausted before any definitive answer
+};
+
+/// Result of a solve, including the best (or first) assignment and search
+/// statistics used by the scalability benches.
+struct SolveResult {
+  Status status = Status::kUnknown;
+  std::vector<std::int64_t> assignment;  // per-variable value when found
+  std::int64_t objective = 0;            // valid when has_solution()
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  double seconds = 0.0;
+
+  bool has_solution() const {
+    return status == Status::kSat || status == Status::kOptimal;
+  }
+  std::int64_t value(VarId v) const { return assignment.at(v.id); }
+};
+
+/// Complete solver over a Model. The Model must outlive the Solver.
+class Solver {
+ public:
+  explicit Solver(const Model& model, Budget budget = {});
+
+  /// Finds one feasible assignment (ignores the objective).
+  SolveResult solve();
+
+  /// Branch-and-bound minimisation of the model's objective. Requires
+  /// Model::minimize() to have been called.
+  SolveResult minimize();
+
+ private:
+  struct NormalisedConstraint {
+    // Σ coef·var <= rhs, optionally guarded by (guard_var == guard_value).
+    std::vector<std::pair<std::int64_t, std::int32_t>> terms;
+    std::int64_t rhs = 0;
+    std::int32_t guard_var = -1;
+    bool guard_value = true;
+  };
+
+  struct Frame {
+    std::size_t trail_mark;
+    std::int32_t var;
+    std::int64_t split;  // decision was var <= split; alternative var > split
+    bool tried_alternative;
+  };
+
+  // Bound updates with trail recording; return false on empty domain.
+  bool set_hi(std::int32_t var, std::int64_t value);
+  bool set_lo(std::int32_t var, std::int64_t value);
+  void undo_to(std::size_t mark);
+
+  bool propagate();  // to fixpoint; false on conflict
+  bool propagate_linear(std::size_t idx);
+  bool propagate_clause(std::size_t idx);
+
+  std::int32_t pick_variable() const;  // -1 when all fixed
+  SolveResult search();
+  std::int64_t eval_objective() const;
+
+  const Model& model_;
+  Budget budget_;
+
+  std::vector<std::int64_t> lo_;
+  std::vector<std::int64_t> hi_;
+  std::vector<NormalisedConstraint> constraints_;
+  std::vector<std::vector<std::size_t>> var_to_constraints_;
+  std::vector<std::vector<std::size_t>> var_to_clauses_;
+
+  struct TrailEntry {
+    std::int32_t var;
+    bool is_hi;
+    std::int64_t old_value;
+  };
+  std::vector<TrailEntry> trail_;
+  std::vector<std::size_t> dirty_constraints_;
+  std::vector<char> constraint_dirty_flag_;
+  std::vector<std::size_t> dirty_clauses_;
+  std::vector<char> clause_dirty_flag_;
+
+  std::int64_t decisions_ = 0;
+  std::int64_t propagations_ = 0;
+  std::int64_t conflicts_ = 0;
+};
+
+}  // namespace fmnet::smt

@@ -1,0 +1,78 @@
+#include "switchsim/recorder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fmnet::switchsim {
+
+GroundTruthRecorder::GroundTruthRecorder(const OutputQueuedSwitch& sw)
+    : sw_(sw) {
+  const auto ports = static_cast<std::size_t>(sw.config().num_ports);
+  const auto queues = static_cast<std::size_t>(sw.num_queues());
+  ms_sent_.assign(ports, 0);
+  ms_dropped_.assign(ports, 0);
+  ms_received_.assign(ports, 0);
+  ms_start_len_.resize(queues);
+  ms_qmax_.resize(queues);
+  for (std::int32_t q = 0; q < sw.num_queues(); ++q) {
+    ms_start_len_[q] = sw.queue_len_flat(q);
+    ms_qmax_[q] = ms_start_len_[q];
+  }
+  queue_len_bins_.resize(queues);
+  queue_max_bins_.resize(queues);
+  sent_bins_.resize(ports);
+  dropped_bins_.resize(ports);
+  received_bins_.resize(ports);
+}
+
+void GroundTruthRecorder::on_slot() {
+  const auto& slot = sw_.last_slot();
+  for (std::size_t p = 0; p < slot.size(); ++p) {
+    ms_sent_[p] += slot[p].sent;
+    ms_dropped_[p] += slot[p].dropped;
+    ms_received_[p] += slot[p].received;
+  }
+  for (std::int32_t q = 0; q < sw_.num_queues(); ++q) {
+    ms_qmax_[q] = std::max(ms_qmax_[q], sw_.queue_len_flat(q));
+  }
+  if (++slot_in_ms_ == sw_.config().slots_per_ms) {
+    // Close the millisecond bin: the fine series carries the length at the
+    // *start* of the ms (see GroundTruth doc); the max covers start + every
+    // slot end within the ms.
+    for (std::int32_t q = 0; q < sw_.num_queues(); ++q) {
+      queue_len_bins_[q].push_back(static_cast<double>(ms_start_len_[q]));
+      queue_max_bins_[q].push_back(static_cast<double>(ms_qmax_[q]));
+      ms_start_len_[q] = sw_.queue_len_flat(q);
+      ms_qmax_[q] = ms_start_len_[q];
+    }
+    for (std::size_t p = 0; p < ms_sent_.size(); ++p) {
+      sent_bins_[p].push_back(static_cast<double>(ms_sent_[p]));
+      dropped_bins_[p].push_back(static_cast<double>(ms_dropped_[p]));
+      received_bins_[p].push_back(static_cast<double>(ms_received_[p]));
+      ms_sent_[p] = 0;
+      ms_dropped_[p] = 0;
+      ms_received_[p] = 0;
+    }
+    slot_in_ms_ = 0;
+  }
+}
+
+GroundTruth GroundTruthRecorder::finish() const {
+  GroundTruth gt;
+  gt.slots_per_ms = sw_.config().slots_per_ms;
+  auto wrap = [](const std::vector<std::vector<double>>& bins) {
+    std::vector<fmnet::TimeSeries> out;
+    out.reserve(bins.size());
+    for (const auto& b : bins) out.emplace_back(b, /*step_ms=*/1.0);
+    return out;
+  };
+  gt.queue_len = wrap(queue_len_bins_);
+  gt.queue_len_max = wrap(queue_max_bins_);
+  gt.port_sent = wrap(sent_bins_);
+  gt.port_dropped = wrap(dropped_bins_);
+  gt.port_received = wrap(received_bins_);
+  return gt;
+}
+
+}  // namespace fmnet::switchsim

@@ -1,0 +1,68 @@
+// GroundTruthRecorder: turns per-slot switch state into the fine-grained
+// (per-millisecond) ground-truth time series the paper collects from ns-3:
+// per-queue instantaneous lengths, and per-port packet/drop counts per 1 ms
+// (§4 "Data Generation").
+#pragma once
+
+#include <vector>
+
+#include "switchsim/switch.h"
+#include "util/time_series.h"
+
+namespace fmnet::switchsim {
+
+/// Fine-grained ground truth of one simulation run (1 series entry per ms).
+struct GroundTruth {
+  /// Queue length at the *start* of each millisecond, per flat queue index.
+  /// This alignment makes work conservation exact at fine granularity:
+  /// queue_len[q][t] > 0 implies the port sends >= 1 packet during ms t, so
+  /// the number of non-empty fine steps in an interval never exceeds that
+  /// interval's SNMP sent count (constraint C3).
+  std::vector<fmnet::TimeSeries> queue_len;
+  /// Maximum queue length observed at slot granularity within each ms, per
+  /// flat queue (used by tests and finer-grained monitors).
+  std::vector<fmnet::TimeSeries> queue_len_max;
+  /// Per-port packets sent / dropped / received during each millisecond.
+  std::vector<fmnet::TimeSeries> port_sent;
+  std::vector<fmnet::TimeSeries> port_dropped;
+  std::vector<fmnet::TimeSeries> port_received;
+  std::int32_t slots_per_ms = 0;
+
+  std::size_t num_ms() const {
+    return queue_len.empty() ? 0 : queue_len.front().size();
+  }
+};
+
+/// Accumulates switch state slot by slot. Drive the switch yourself and
+/// call on_slot() after every OutputQueuedSwitch::step(); call finish() to
+/// obtain the per-ms series (partial trailing milliseconds are discarded).
+class GroundTruthRecorder {
+ public:
+  explicit GroundTruthRecorder(const OutputQueuedSwitch& sw);
+
+  /// Records the state of the slot that just executed.
+  void on_slot();
+
+  /// Returns all completed-millisecond series collected so far.
+  GroundTruth finish() const;
+
+ private:
+  const OutputQueuedSwitch& sw_;
+  std::int32_t slot_in_ms_ = 0;
+
+  // per-ms accumulation state
+  std::vector<std::int64_t> ms_sent_;
+  std::vector<std::int64_t> ms_dropped_;
+  std::vector<std::int64_t> ms_received_;
+  std::vector<std::int64_t> ms_qmax_;
+  std::vector<std::int64_t> ms_start_len_;  // lengths at start of current ms
+
+  // completed bins
+  std::vector<std::vector<double>> queue_len_bins_;   // [queue][ms]
+  std::vector<std::vector<double>> queue_max_bins_;   // [queue][ms]
+  std::vector<std::vector<double>> sent_bins_;        // [port][ms]
+  std::vector<std::vector<double>> dropped_bins_;     // [port][ms]
+  std::vector<std::vector<double>> received_bins_;    // [port][ms]
+};
+
+}  // namespace fmnet::switchsim

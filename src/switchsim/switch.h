@@ -1,0 +1,119 @@
+// Slotted-time model of an output-queued shared-buffer switch (paper Fig. 2,
+// and the ns-3 ABM scenario [Addanki et al., SIGCOMM'22] used for data
+// generation in §4).
+//
+// Time advances in slots; one slot is the time to transmit one packet on a
+// port (the paper notes ≈90 slots per millisecond for its port speed). Per
+// slot:
+//
+//   1. every arriving packet is mapped to its destination output queue and
+//      admitted iff the shared buffer has space AND the queue is below its
+//      dynamic threshold  thr_c = α_c · (B − occupancy)   (Choudhury–Hahne
+//      Dynamic Thresholds, the buffer-management scheme ABM builds on);
+//      rejected packets increment the port/queue drop counters;
+//   2. every output port transmits at most one packet, chosen from its
+//      non-empty queues by the configured scheduler (round-robin or strict
+//      priority) — schedulers are work-conserving;
+//   3. end-of-slot queue lengths are the observable state.
+//
+// All counters a real switch would expose (per-port received/sent/dropped,
+// per-queue lengths and drops) are maintained so that the telemetry module
+// can implement SNMP/LANZ/periodic sampling faithfully on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fmnet::switchsim {
+
+/// Scheduling discipline across the queues of one port.
+enum class SchedulerType {
+  kRoundRobin,          // cycle over non-empty queues
+  kStrictPriority,      // lower class index = higher priority
+  kWeightedRoundRobin,  // serve class c up to wrr_weights[c] slots per turn
+};
+
+/// Static configuration of the switch.
+struct SwitchConfig {
+  std::int32_t num_ports = 8;
+  std::int32_t queues_per_port = 2;
+  /// Shared buffer capacity in packets.
+  std::int64_t buffer_size = 1000;
+  /// Dynamic-threshold α per queue class (size queues_per_port). The ABM
+  /// scenario gives different classes different alphas.
+  std::vector<double> alpha{1.0, 0.5};
+  SchedulerType scheduler = SchedulerType::kRoundRobin;
+  /// Per-class quanta for kWeightedRoundRobin (size queues_per_port);
+  /// class c gets up to wrr_weights[c] consecutive slots per visit while
+  /// backlogged. Ignored by the other schedulers.
+  std::vector<std::int32_t> wrr_weights{2, 1};
+  /// Packet slots per millisecond (port speed); 90 matches the paper.
+  std::int32_t slots_per_ms = 90;
+};
+
+/// One packet arrival: destination output port and queue class.
+struct Arrival {
+  std::int32_t dst_port = 0;
+  std::int32_t queue_class = 0;
+};
+
+/// Per-port counters accumulated over one slot (reset each step()).
+struct SlotPortCounters {
+  std::int64_t received = 0;  // arrivals destined to the port
+  std::int64_t sent = 0;      // 0 or 1 per slot
+  std::int64_t dropped = 0;
+};
+
+/// Output-queued shared-buffer switch. Deterministic: all randomness lives
+/// in the traffic source feeding step().
+class OutputQueuedSwitch {
+ public:
+  explicit OutputQueuedSwitch(SwitchConfig config);
+
+  /// Advances one slot: admits `arrivals` (in order), then lets each port
+  /// transmit at most one packet.
+  void step(const std::vector<Arrival>& arrivals);
+
+  // ---- state inspection ---------------------------------------------------
+
+  const SwitchConfig& config() const { return config_; }
+  std::int32_t num_queues() const {
+    return config_.num_ports * config_.queues_per_port;
+  }
+  /// Flat queue index of (port, class).
+  std::int32_t queue_index(std::int32_t port, std::int32_t cls) const;
+
+  std::int64_t queue_len(std::int32_t port, std::int32_t cls) const;
+  std::int64_t queue_len_flat(std::int32_t q) const { return len_.at(q); }
+  std::int64_t buffer_occupancy() const { return occupancy_; }
+
+  /// Current dynamic threshold for a class given present occupancy.
+  double threshold(std::int32_t cls) const;
+
+  /// Counters for the most recent slot.
+  const std::vector<SlotPortCounters>& last_slot() const { return slot_; }
+
+  // ---- cumulative counters (never reset) ----------------------------------
+
+  std::int64_t total_received(std::int32_t port) const;
+  std::int64_t total_sent(std::int32_t port) const;
+  std::int64_t total_dropped(std::int32_t port) const;
+  std::int64_t total_queue_drops(std::int32_t port, std::int32_t cls) const;
+  std::int64_t slots_elapsed() const { return slots_elapsed_; }
+
+ private:
+  bool admit(const Arrival& a);
+  void transmit();
+
+  SwitchConfig config_;
+  std::vector<std::int64_t> len_;          // per flat queue
+  std::vector<std::int64_t> queue_drops_;  // per flat queue
+  std::int64_t occupancy_ = 0;
+  std::vector<std::int32_t> rr_next_;       // per port round-robin pointer
+  std::vector<std::int32_t> wrr_credit_;    // per port: slots left in turn
+  std::vector<SlotPortCounters> slot_;
+  std::vector<SlotPortCounters> totals_;
+  std::int64_t slots_elapsed_ = 0;
+};
+
+}  // namespace fmnet::switchsim

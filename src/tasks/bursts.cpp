@@ -1,0 +1,42 @@
+#include "tasks/bursts.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fmnet::tasks {
+
+std::vector<Burst> detect_bursts(const std::vector<double>& series,
+                                 double threshold) {
+  FMNET_CHECK_GT(threshold, 0.0);
+  std::vector<Burst> bursts;
+  bool in_burst = false;
+  Burst current;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    if (series[t] >= threshold) {
+      if (!in_burst) {
+        in_burst = true;
+        current = Burst{t, t + 1, series[t]};
+      } else {
+        current.end = t + 1;
+        current.height = std::max(current.height, series[t]);
+      }
+    } else if (in_burst) {
+      bursts.push_back(current);
+      in_burst = false;
+    }
+  }
+  if (in_burst) bursts.push_back(current);
+  return bursts;
+}
+
+std::vector<char> burst_indicator(const std::vector<double>& series,
+                                  double threshold) {
+  std::vector<char> out(series.size(), 0);
+  for (const Burst& b : detect_bursts(series, threshold)) {
+    for (std::size_t t = b.start; t < b.end; ++t) out[t] = 1;
+  }
+  return out;
+}
+
+}  // namespace fmnet::tasks

@@ -1,0 +1,34 @@
+// Burst detection on queue-length time series, after the threshold method
+// of Woodruff et al. ("Measuring burstiness in data center applications",
+// Buffer Sizing 2019) that the paper's downstream tasks (§4) use: a burst
+// is a maximal run of steps whose queue length is at or above a threshold;
+// its height is the peak length within the run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fmnet::tasks {
+
+/// One detected burst: steps [start, end), peak height in packets.
+struct Burst {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  double height = 0.0;
+
+  std::size_t duration() const { return end - start; }
+  bool overlaps(const Burst& other) const {
+    return start < other.end && other.start < end;
+  }
+};
+
+/// Maximal runs of q[t] >= threshold. threshold must be positive so that an
+/// empty queue is never "bursting".
+std::vector<Burst> detect_bursts(const std::vector<double>& series,
+                                 double threshold);
+
+/// Per-step burst indicator (1 where some burst covers the step).
+std::vector<char> burst_indicator(const std::vector<double>& series,
+                                  double threshold);
+
+}  // namespace fmnet::tasks

@@ -1,0 +1,56 @@
+#include "tasks/delay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace fmnet::tasks {
+
+std::vector<double> queueing_delay(const std::vector<double>& queue_len,
+                                   double service_rate) {
+  FMNET_CHECK_GT(service_rate, 0.0);
+  std::vector<double> out(queue_len.size());
+  for (std::size_t t = 0; t < queue_len.size(); ++t) {
+    out[t] = std::max(0.0, queue_len[t]) / service_rate;
+  }
+  return out;
+}
+
+double max_delay_bound(std::int64_t buffer_size, double service_rate) {
+  FMNET_CHECK_GT(buffer_size, 0);
+  FMNET_CHECK_GT(service_rate, 0.0);
+  return static_cast<double>(buffer_size) / service_rate;
+}
+
+DelayCertificate certify_delays(const std::vector<double>& delays,
+                                std::int64_t buffer_size,
+                                double service_rate) {
+  const double bound = max_delay_bound(buffer_size, service_rate);
+  DelayCertificate cert;
+  std::vector<double> clamped;
+  clamped.reserve(delays.size());
+  for (const double d : delays) {
+    if (d < 0.0 || d > bound) {
+      ++cert.violations;
+      cert.sound = false;
+      cert.worst_excess = std::max(cert.worst_excess, d - bound);
+    }
+    clamped.push_back(std::clamp(d, 0.0, bound));
+  }
+  if (!clamped.empty()) cert.p99 = percentile(clamped, 99.0);
+  return cert;
+}
+
+std::vector<double> enforce_delay_bounds(const std::vector<double>& delays,
+                                         std::int64_t buffer_size,
+                                         double service_rate) {
+  const double bound = max_delay_bound(buffer_size, service_rate);
+  std::vector<double> out;
+  out.reserve(delays.size());
+  for (const double d : delays) out.push_back(std::clamp(d, 0.0, bound));
+  return out;
+}
+
+}  // namespace fmnet::tasks

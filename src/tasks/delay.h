@@ -1,0 +1,47 @@
+// Queueing-delay analytics derived from imputed queue lengths — the §5
+// integration the paper sketches for performance estimators ("DeepQueueNet
+// or Mimicnet can benefit from FM by bounding the delay predictions
+// according to the shared buffer size").
+//
+// For a FIFO queue served at `service_rate` packets per fine step, a packet
+// arriving when the queue holds q packets waits q / service_rate steps.
+// Knowledge gives hard bounds: delay is non-negative and can never exceed
+// buffer_size / service_rate (the paper's buffer-bound idea) — so any
+// ML-predicted delay series can be *certified* against them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fmnet::tasks {
+
+/// Per-step queueing delay (in fine steps) implied by a queue-length
+/// series under a given service rate (packets per fine step).
+std::vector<double> queueing_delay(const std::vector<double>& queue_len,
+                                   double service_rate);
+
+/// Hard delay bound from the shared buffer: buffer_size / service_rate.
+double max_delay_bound(std::int64_t buffer_size, double service_rate);
+
+/// Result of certifying a delay series against the physical bounds.
+struct DelayCertificate {
+  bool sound = true;                 // all values within [0, bound]
+  std::size_t violations = 0;        // # steps outside the bounds
+  double worst_excess = 0.0;         // max amount above the bound
+  double p99 = 0.0;                  // p99 of the (clamped) series
+};
+
+/// Checks an arbitrary (e.g. ML-predicted) delay series against the
+/// buffer-implied bounds, reporting violations; the paper's "bound the
+/// predictions by knowledge" applied to delay estimation.
+DelayCertificate certify_delays(const std::vector<double>& delays,
+                                std::int64_t buffer_size,
+                                double service_rate);
+
+/// Clamps a delay series into the certified range [0, bound] (the minimal
+/// knowledge-enforcement for a delay predictor).
+std::vector<double> enforce_delay_bounds(const std::vector<double>& delays,
+                                         std::int64_t buffer_size,
+                                         double service_rate);
+
+}  // namespace fmnet::tasks

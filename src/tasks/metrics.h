@@ -1,0 +1,83 @@
+// Downstream-task error metrics — the rows of Table 1.
+//
+// Rows a–c (consistency) measure how far an imputed series is from the
+// coarse measurements themselves; rows d–i measure burst-related analytics
+// against ground truth. All errors are normalised so that 0 is perfect;
+// ratios of means can exceed 1 (the paper reports 6.33 for IterImputer's
+// inter-arrival error).
+//
+// Exact definitions used here (the paper does not spell out formulas):
+//   a. max constraint:    Σ_w |max_w(imp) − m_max_w| / (Σ_w m_max_w + ε)
+//   b. periodic:          Σ_s |imp[t_s] − m_len_s| /
+//                         (Σ_s max(m_len_s, m_max of s's interval) + ε)
+//                         — samples are frequently 0, so the interval max
+//                         provides the characteristic scale
+//   c. sent pkts:         Σ_w relu(NE_w(imp) − m_out_w) / (Σ_w m_out_w + ε)
+//   d. burst detection:   1 − Jaccard(burst steps of truth, of imputed)
+//   e. burst height:      mean over truth bursts of |h_imp − h_tr| / h_tr,
+//                         using the overlapping imputed burst (missing → 1),
+//                         capped at 1 per burst
+//   f. burst frequency:   |#bursts_imp − #bursts_tr| / (#bursts_tr + ε)
+//   g. burst inter-arrival: |mean_ia_imp − mean_ia_tr| / (mean_ia_tr + ε);
+//                         when either side has < 2 bursts: 0 if both do,
+//                         1 otherwise
+//   h. empty-queue freq:  |f0_imp − f0_tr| / (f0_tr + ε)
+//   i. concurrent bursts: |mean_cc_imp − mean_cc_tr| / (mean_cc_tr + ε),
+//                         cc(t) = #queues bursting at step t
+#pragma once
+
+#include <vector>
+
+#include "nn/kal.h"
+#include "tasks/bursts.h"
+
+namespace fmnet::tasks {
+
+/// Rows a–c for one example: aggregate violation mass and the normaliser.
+struct ConsistencyAccumulator {
+  double max_violation = 0.0;
+  double max_norm = 0.0;
+  double periodic_violation = 0.0;
+  double periodic_norm = 0.0;
+  double sent_violation = 0.0;
+  double sent_norm = 0.0;
+
+  /// Adds one window's violations; `imputed` in the same (normalised)
+  /// units as the constraint record.
+  void add(const std::vector<double>& imputed,
+           const nn::ExampleConstraints& c);
+
+  double max_error(double eps = 1e-9) const {
+    return max_violation / (max_norm + eps);
+  }
+  double periodic_error(double eps = 1e-9) const {
+    return periodic_violation / (periodic_norm + eps);
+  }
+  double sent_error(double eps = 1e-9) const {
+    return sent_violation / (sent_norm + eps);
+  }
+};
+
+/// Rows d–h for one queue's stitched series.
+struct BurstMetrics {
+  double detection_error = 0.0;
+  double height_error = 0.0;
+  double frequency_error = 0.0;
+  double interarrival_error = 0.0;
+  double empty_freq_error = 0.0;
+};
+
+/// Computes rows d–h. `threshold` (packets) must be the same for truth and
+/// imputed series; the benches derive it from the buffer size.
+BurstMetrics burst_metrics(const std::vector<double>& truth,
+                           const std::vector<double>& imputed,
+                           double threshold);
+
+/// Row i: mean over steps of the number of queues simultaneously bursting,
+/// compared between truth and imputed; series indexed [queue][step].
+double concurrent_burst_error(
+    const std::vector<std::vector<double>>& truth_queues,
+    const std::vector<std::vector<double>>& imputed_queues,
+    double threshold);
+
+}  // namespace fmnet::tasks

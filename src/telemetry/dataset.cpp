@@ -1,0 +1,104 @@
+#include "telemetry/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fmnet::telemetry {
+
+std::vector<ImputationExample> build_examples(
+    const switchsim::GroundTruth& gt, const CoarseTelemetry& ct,
+    const DatasetConfig& config, std::int32_t queues_per_port) {
+  FMNET_CHECK_GT(config.window_ms, 0u);
+  FMNET_CHECK_GT(config.factor, 0u);
+  FMNET_CHECK_EQ(config.window_ms % config.factor, 0u);
+  FMNET_CHECK_GT(config.qlen_scale, 0.0);
+  FMNET_CHECK_GT(config.count_scale, 0.0);
+  FMNET_CHECK_GT(queues_per_port, 0);
+  FMNET_CHECK_EQ(gt.num_ms() % config.factor, 0u);
+
+  const std::size_t total_ms = gt.num_ms();
+  const std::size_t num_windows = total_ms / config.window_ms;
+  const std::size_t wpi = config.window_ms / config.factor;  // intervals/win
+
+  std::vector<ImputationExample> out;
+  out.reserve(gt.queue_len.size() * num_windows);
+
+  for (std::size_t q = 0; q < gt.queue_len.size(); ++q) {
+    const auto port = static_cast<std::int32_t>(
+        static_cast<std::int32_t>(q) / queues_per_port);
+    for (std::size_t w = 0; w < num_windows; ++w) {
+      const std::size_t start = w * config.window_ms;
+      ImputationExample ex;
+      ex.queue = static_cast<std::int32_t>(q);
+      ex.port = port;
+      ex.start_ms = start;
+      ex.window = config.window_ms;
+      ex.qlen_scale = config.qlen_scale;
+      ex.count_scale = config.count_scale;
+
+      ex.features.resize(config.window_ms * kNumInputChannels);
+      ex.target.resize(config.window_ms);
+      for (std::size_t t = 0; t < config.window_ms; ++t) {
+        const std::size_t fine = start + t;
+        const std::size_t interval = fine / config.factor;
+        const float periodic = static_cast<float>(
+            ct.periodic_qlen[q][interval] / config.qlen_scale);
+        const float qmax = static_cast<float>(ct.max_qlen[q][interval] /
+                                              config.qlen_scale);
+        const float sent = static_cast<float>(
+            ct.snmp_sent[port][interval] / config.count_scale);
+        const float dropped = static_cast<float>(
+            ct.snmp_dropped[port][interval] / config.count_scale);
+        float* row = ex.features.data() + t * kNumInputChannels;
+        row[kChannelPeriodicQlen] = periodic;
+        row[kChannelMaxQlen] = qmax;
+        row[kChannelPortSent] = sent;
+        row[kChannelPortDropped] = dropped;
+        ex.target[t] = static_cast<float>(gt.queue_len[q][fine] /
+                                          config.qlen_scale);
+      }
+
+      // Constraint data (normalised queue-length units for C1/C2; fine-step
+      // count units for C3).
+      auto& c = ex.constraints;
+      c.coarse_factor = static_cast<std::int64_t>(config.factor);
+      c.window_max.resize(wpi);
+      c.port_sent.resize(wpi);
+      for (std::size_t i = 0; i < wpi; ++i) {
+        const std::size_t interval = start / config.factor + i;
+        c.window_max[i] = static_cast<float>(ct.max_qlen[q][interval] /
+                                             config.qlen_scale);
+        c.port_sent[i] = static_cast<float>(
+            std::min<double>(static_cast<double>(config.factor),
+                             ct.snmp_sent[port][interval]));
+        // C2: the periodic sample lands on the first fine step of the
+        // interval.
+        c.sample_idx.push_back(static_cast<std::int64_t>(i * config.factor));
+        c.sample_val.push_back(static_cast<float>(
+            ct.periodic_qlen[q][interval] / config.qlen_scale));
+      }
+      // tanh sharpness: one packet of queue (1/qlen_scale after
+      // normalisation) should register as "non-empty".
+      c.ne_tanh_scale = static_cast<float>(config.qlen_scale);
+
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+DatasetSplit split_examples(std::vector<ImputationExample> examples) {
+  DatasetSplit split;
+  for (auto& ex : examples) {
+    const std::size_t window_index = ex.start_ms / ex.window;
+    if (window_index % 2 == 0) {
+      split.train.push_back(std::move(ex));
+    } else {
+      split.test.push_back(std::move(ex));
+    }
+  }
+  return split;
+}
+
+}  // namespace fmnet::telemetry

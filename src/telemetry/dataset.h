@@ -1,0 +1,76 @@
+// Assembly of (coarse telemetry -> fine queue length) training/eval
+// examples, following the paper's Fig. 3 pipeline: the coarse series T_s
+// are expanded to per-fine-step input channels, the target is the fine
+// queue-length series T_r, and the constraint data (m_max, m_len, m_out)
+// rides along for KAL and CEM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kal.h"
+#include "switchsim/recorder.h"
+#include "telemetry/monitors.h"
+
+namespace fmnet::telemetry {
+
+/// Layout of the per-time-step input channels fed to the transformer.
+/// All channels are hold-upsampled coarse series.
+enum InputChannel : std::size_t {
+  kChannelPeriodicQlen = 0,  // sampled instantaneous length (normalised)
+  kChannelMaxQlen = 1,       // LANZ interval max (normalised)
+  kChannelPortSent = 2,      // SNMP packets sent (normalised)
+  kChannelPortDropped = 3,   // SNMP packets dropped (normalised)
+  kNumInputChannels = 4,
+};
+
+/// One (queue, window) example.
+struct ImputationExample {
+  /// Row-major [T][kNumInputChannels] features.
+  std::vector<float> features;
+  /// [T] fine-grained queue length (normalised by qlen_scale).
+  std::vector<float> target;
+  /// Constraint data in the same normalised units (see DatasetConfig).
+  nn::ExampleConstraints constraints;
+
+  std::int32_t queue = 0;     // flat queue index
+  std::int32_t port = 0;      // owning port
+  std::size_t start_ms = 0;   // window position in the campaign
+  std::size_t window = 0;     // window length T (fine steps)
+  /// Normalisation divisors copied from DatasetConfig, so imputers can
+  /// convert between normalised units and packets.
+  double qlen_scale = 1.0;
+  double count_scale = 1.0;
+};
+
+/// Windowing / normalisation parameters.
+struct DatasetConfig {
+  /// Fine steps per window (paper: 300 ms windows).
+  std::size_t window_ms = 300;
+  /// Fine steps per coarse interval (paper: 50).
+  std::size_t factor = 50;
+  /// Queue lengths are divided by this (typically the shared buffer size).
+  double qlen_scale = 1000.0;
+  /// Counter channels are divided by this (typically slots per interval,
+  /// i.e. the max packets a port can send per interval).
+  double count_scale = 4500.0;
+};
+
+/// Cuts non-overlapping windows across every queue. C3's m_out is stored in
+/// *step count* units: min(factor, snmp_sent of the owning port), because a
+/// non-empty fine step implies at least one departure in that step (work
+/// conservation), so #non-empty steps can never exceed packets sent and is
+/// trivially capped by the interval length.
+std::vector<ImputationExample> build_examples(
+    const switchsim::GroundTruth& gt, const CoarseTelemetry& ct,
+    const DatasetConfig& config, std::int32_t queues_per_port);
+
+/// Splits examples into train/test by window parity (even windows train,
+/// odd test) so both splits cover the whole campaign and all queues.
+struct DatasetSplit {
+  std::vector<ImputationExample> train;
+  std::vector<ImputationExample> test;
+};
+DatasetSplit split_examples(std::vector<ImputationExample> examples);
+
+}  // namespace fmnet::telemetry

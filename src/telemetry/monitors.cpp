@@ -1,0 +1,51 @@
+#include "telemetry/monitors.h"
+
+#include "util/check.h"
+
+namespace fmnet::telemetry {
+
+CoarseTelemetry sample_telemetry(const switchsim::GroundTruth& gt,
+                                 std::size_t factor) {
+  FMNET_CHECK_GT(factor, 0u);
+  FMNET_CHECK_GT(gt.num_ms(), 0u);
+  FMNET_CHECK_EQ(gt.num_ms() % factor, 0u);
+
+  CoarseTelemetry ct;
+  ct.factor = factor;
+  for (const auto& q : gt.queue_len) {
+    ct.periodic_qlen.push_back(q.downsample_instant(factor));
+    ct.max_qlen.push_back(q.downsample_max(factor));
+  }
+  for (const auto& p : gt.port_sent) {
+    ct.snmp_sent.push_back(p.downsample_sum(factor));
+  }
+  for (const auto& p : gt.port_dropped) {
+    ct.snmp_dropped.push_back(p.downsample_sum(factor));
+  }
+  for (const auto& p : gt.port_received) {
+    ct.snmp_received.push_back(p.downsample_sum(factor));
+  }
+  return ct;
+}
+
+switchsim::GroundTruth trim_to_multiple(const switchsim::GroundTruth& gt,
+                                        std::size_t factor) {
+  FMNET_CHECK_GT(factor, 0u);
+  const std::size_t keep = (gt.num_ms() / factor) * factor;
+  switchsim::GroundTruth out;
+  out.slots_per_ms = gt.slots_per_ms;
+  auto trim = [keep](const std::vector<fmnet::TimeSeries>& in) {
+    std::vector<fmnet::TimeSeries> res;
+    res.reserve(in.size());
+    for (const auto& ts : in) res.push_back(ts.slice(0, keep));
+    return res;
+  };
+  out.queue_len = trim(gt.queue_len);
+  out.queue_len_max = trim(gt.queue_len_max);
+  out.port_sent = trim(gt.port_sent);
+  out.port_dropped = trim(gt.port_dropped);
+  out.port_received = trim(gt.port_received);
+  return out;
+}
+
+}  // namespace fmnet::telemetry

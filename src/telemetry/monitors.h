@@ -1,0 +1,48 @@
+// Monitoring-tool semantics (paper §2.1): what a datacenter operator can
+// actually collect, per 50 ms interval, from routinely available tools:
+//
+//   * periodic sampling — the instantaneous queue length at the start of
+//     each interval;
+//   * LANZ — the per-queue maximum length within each interval (footnote 1:
+//     thresholds configured low enough that every interval reports);
+//   * SNMP — per-port counts of packets received, sent and dropped in each
+//     interval.
+//
+// All three are pure functions of the fine-grained ground truth, so the
+// ground truth satisfies constraints C1–C3 by construction — the property
+// the Constraint Enforcement Module relies on for feasibility.
+#pragma once
+
+#include "switchsim/recorder.h"
+#include "util/time_series.h"
+
+namespace fmnet::telemetry {
+
+/// Everything the operator sees: coarse-grained series at `factor` × the
+/// fine step (the paper uses factor 50: 50 ms from 1 ms).
+struct CoarseTelemetry {
+  std::size_t factor = 50;
+  /// Per flat queue: instantaneous length at each interval start.
+  std::vector<fmnet::TimeSeries> periodic_qlen;
+  /// Per flat queue: LANZ maximum within each interval.
+  std::vector<fmnet::TimeSeries> max_qlen;
+  /// Per port: SNMP counters per interval.
+  std::vector<fmnet::TimeSeries> snmp_sent;
+  std::vector<fmnet::TimeSeries> snmp_dropped;
+  std::vector<fmnet::TimeSeries> snmp_received;
+
+  std::size_t num_intervals() const {
+    return periodic_qlen.empty() ? 0 : periodic_qlen.front().size();
+  }
+};
+
+/// Applies the three monitoring tools to ground truth. The fine series
+/// length must be a multiple of `factor`; trim beforehand if needed.
+CoarseTelemetry sample_telemetry(const switchsim::GroundTruth& gt,
+                                 std::size_t factor);
+
+/// Trims every series of `gt` to the largest multiple of `factor`.
+switchsim::GroundTruth trim_to_multiple(const switchsim::GroundTruth& gt,
+                                        std::size_t factor);
+
+}  // namespace fmnet::telemetry

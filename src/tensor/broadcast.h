@@ -1,0 +1,71 @@
+// Internal broadcasting helpers shared by ops.cpp. Not part of the public
+// API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/check.h"
+
+namespace fmnet::tensor::detail {
+
+/// NumPy broadcast result shape of two shapes; throws on mismatch.
+inline Shape broadcast_shape(const Shape& a, const Shape& b) {
+  const std::size_t nd = std::max(a.size(), b.size());
+  Shape out(nd, 1);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const std::int64_t da =
+        i < nd - a.size() ? 1 : a[i - (nd - a.size())];
+    const std::int64_t db =
+        i < nd - b.size() ? 1 : b[i - (nd - b.size())];
+    FMNET_CHECK(da == db || da == 1 || db == 1,
+                "incompatible broadcast: " + shape_to_string(a) + " vs " +
+                    shape_to_string(b));
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+/// Strides of `in` aligned to the (longer) output shape, with 0 stride on
+/// broadcast dimensions.
+inline std::vector<std::int64_t> aligned_strides(const Shape& in,
+                                                 const Shape& out) {
+  const auto in_strides = strides_for(in);
+  std::vector<std::int64_t> s(out.size(), 0);
+  const std::size_t offset = out.size() - in.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    s[offset + i] = (in[i] == 1 && out[offset + i] != 1) ? 0 : in_strides[i];
+  }
+  return s;
+}
+
+/// Iterates every output element of a 2-input broadcast, invoking
+/// f(linear_out, linear_a, linear_b).
+template <class F>
+void for_each_bcast2(const Shape& out, const std::vector<std::int64_t>& sa,
+                     const std::vector<std::int64_t>& sb, F&& f) {
+  const std::int64_t n = numel(out);
+  if (out.empty()) {  // scalar
+    if (n == 1) f(0, 0, 0);
+    return;
+  }
+  std::vector<std::int64_t> idx(out.size(), 0);
+  std::int64_t ia = 0;
+  std::int64_t ib = 0;
+  for (std::int64_t lin = 0; lin < n; ++lin) {
+    f(lin, ia, ib);
+    // mixed-radix increment, updating offsets incrementally
+    for (std::size_t d = out.size(); d-- > 0;) {
+      ++idx[d];
+      ia += sa[d];
+      ib += sb[d];
+      if (idx[d] < out[d]) break;
+      ia -= sa[d] * out[d];
+      ib -= sb[d] * out[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+}  // namespace fmnet::tensor::detail

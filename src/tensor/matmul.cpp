@@ -1,0 +1,116 @@
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace fmnet::tensor {
+
+namespace {
+
+// C[m,n] += A[m,k] @ B[k,n] over raw pointers (row-major). The i-k-j loop
+// order keeps the inner loop contiguous on both B and C.
+void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] += A[m,k] @ B[n,k]^T  (i.e. B given transposed).
+void gemm_bt_acc(const float* a, const float* bt, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = a + i * k;
+      const float* brow = bt + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+// C[m,n] += A[k,m]^T @ B[k,n]  (i.e. A given transposed).
+void gemm_at_acc(const float* at, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = at + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  FMNET_CHECK(as.size() == 2 || as.size() == 3,
+              "matmul lhs must be 2-D or 3-D, got " + shape_to_string(as));
+  FMNET_CHECK(bs.size() == 2 || bs.size() == 3,
+              "matmul rhs must be 2-D or 3-D, got " + shape_to_string(bs));
+  FMNET_CHECK(!(as.size() == 2 && bs.size() == 3),
+              "matmul: 2-D lhs with 3-D rhs is not supported");
+
+  const bool batched_a = as.size() == 3;
+  const bool batched_b = bs.size() == 3;
+  const std::int64_t batch = batched_a ? as[0] : 1;
+  const std::int64_t m = batched_a ? as[1] : as[0];
+  const std::int64_t k = batched_a ? as[2] : as[1];
+  const std::int64_t kb = batched_b ? bs[1] : bs[0];
+  const std::int64_t n = batched_b ? bs[2] : bs[1];
+  FMNET_CHECK(k == kb, "matmul inner dims mismatch: " + shape_to_string(as) +
+                           " x " + shape_to_string(bs));
+  if (batched_b) {
+    FMNET_CHECK(batched_a && bs[0] == batch, "matmul batch dims mismatch");
+  }
+
+  Shape out_shape = batched_a ? Shape{batch, m, n} : Shape{m, n};
+  std::vector<float> out(static_cast<std::size_t>(numel(out_shape)), 0.0f);
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  for (std::int64_t e = 0; e < batch; ++e) {
+    gemm_acc(ap + e * m * k, batched_b ? bp + e * k * n : bp,
+             out.data() + e * m * n, m, k, n);
+  }
+
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op_result(
+      std::move(out_shape), std::move(out), {a, b},
+      [an, bn, batch, m, k, n, batched_b](Node& o) {
+        const float* go = o.grad.data();
+        if (an->requires_grad) {
+          an->ensure_grad();
+          // dA = dC @ B^T, per batch element.
+          for (std::int64_t e = 0; e < batch; ++e) {
+            const float* bp2 =
+                bn->data.data() + (batched_b ? e * k * n : 0);
+            gemm_bt_acc(go + e * m * n, bp2, an->grad.data() + e * m * k, m,
+                        n, k);
+          }
+        }
+        if (bn->requires_grad) {
+          bn->ensure_grad();
+          // dB = A^T @ dC; when rhs is shared 2-D, sum over the batch.
+          for (std::int64_t e = 0; e < batch; ++e) {
+            float* gb = bn->grad.data() + (batched_b ? e * k * n : 0);
+            gemm_at_acc(an->data.data() + e * m * k, go + e * m * n, gb, k,
+                        m, n);
+          }
+        }
+      });
+}
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,206 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "tensor/broadcast.h"
+#include "util/check.h"
+
+namespace fmnet::tensor {
+
+namespace {
+
+// Shared implementation for broadcasting binary elementwise ops.
+// F:  (a, b) -> out
+// DA: (a, b, gout) -> grad contribution to a
+// DB: (a, b, gout) -> grad contribution to b
+template <class F, class DA, class DB>
+Tensor binary_op(const Tensor& a, const Tensor& b, F f, DA da, DB db) {
+  const Shape out_shape = detail::broadcast_shape(a.shape(), b.shape());
+  const auto sa = detail::aligned_strides(a.shape(), out_shape);
+  const auto sb = detail::aligned_strides(b.shape(), out_shape);
+  std::vector<float> out(static_cast<std::size_t>(numel(out_shape)));
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  detail::for_each_bcast2(out_shape, sa, sb,
+                          [&](std::int64_t n, std::int64_t ia,
+                              std::int64_t ib) {
+                            out[static_cast<std::size_t>(n)] =
+                                f(av[static_cast<std::size_t>(ia)],
+                                  bv[static_cast<std::size_t>(ib)]);
+                          });
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op_result(
+      out_shape, std::move(out), {a, b},
+      [an, bn, out_shape, sa, sb, da, db](Node& o) {
+        const bool need_a = an->requires_grad;
+        const bool need_b = bn->requires_grad;
+        if (need_a) an->ensure_grad();
+        if (need_b) bn->ensure_grad();
+        detail::for_each_bcast2(
+            out_shape, sa, sb,
+            [&](std::int64_t n, std::int64_t ia, std::int64_t ib) {
+              const float x = an->data[static_cast<std::size_t>(ia)];
+              const float y = bn->data[static_cast<std::size_t>(ib)];
+              const float g = o.grad[static_cast<std::size_t>(n)];
+              if (need_a) an->grad[static_cast<std::size_t>(ia)] += da(x, y, g);
+              if (need_b) bn->grad[static_cast<std::size_t>(ib)] += db(x, y, g);
+            });
+      });
+}
+
+// Shared implementation for unary elementwise ops.
+// F: x -> out; D: (x, out, gout) -> grad contribution to x.
+template <class F, class D>
+Tensor unary_op(const Tensor& a, F f, D d) {
+  std::vector<float> out(a.data().size());
+  const auto& av = a.data();
+  for (std::size_t i = 0; i < av.size(); ++i) out[i] = f(av[i]);
+  auto an = a.node();
+  return make_op_result(a.shape(), std::move(out), {a}, [an, d](Node& o) {
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o.data.size(); ++i) {
+      an->grad[i] += d(an->data[i], o.data[i], o.grad[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return -g; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float g) { return g * y; },
+      [](float x, float, float g) { return g * x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float g) { return g / y; },
+      [](float x, float y, float g) { return -g * x / (y * y); });
+}
+
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x <= y ? x : y; },
+      [](float x, float y, float g) { return x <= y ? g : 0.0f; },
+      [](float x, float y, float g) { return x <= y ? 0.0f : g; });
+}
+
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x >= y ? x : y; },
+      [](float x, float y, float g) { return x >= y ? g : 0.0f; },
+      [](float x, float y, float g) { return x >= y ? 0.0f : g; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, [s](float x) { return x + s; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, [s](float x) { return x * s; },
+      [s](float, float, float g) { return g * s; });
+}
+
+Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+Tensor exp(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::exp(x); },
+      [](float, float out, float g) { return g * out; });
+}
+
+Tensor log(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::log(x); },
+      [](float x, float, float g) { return g / x; });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float out, float g) {
+        return out > 0.0f ? g / (2.0f * out) : 0.0f;
+      });
+}
+
+Tensor abs(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float, float g) {
+        return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
+      });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float out, float g) { return g * (1.0f - out * out); });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float out, float g) { return g * out * (1.0f - out); });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return unary_op(
+      a,
+      [](float x) {
+        const float inner = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float, float g) {
+        const float inner = kC * (x + kA * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.0f + 3.0f * kA * x * x);
+        return g * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner);
+      });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return x * x; },
+      [](float x, float, float g) { return 2.0f * g * x; });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  FMNET_CHECK_LE(lo, hi);
+  return unary_op(
+      a,
+      [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](float x, float, float g) {
+        return (x >= lo && x <= hi) ? g : 0.0f;
+      });
+}
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,94 @@
+// Differentiable tensor operations.
+//
+// All functions build autograd graph nodes; gradients flow to any input
+// with requires_grad. Binary elementwise ops support NumPy-style
+// broadcasting (shapes aligned from the trailing dimension; size-1 or
+// missing dimensions broadcast).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace fmnet::tensor {
+
+// ---- elementwise binary (broadcasting) -----------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+/// Elementwise division; caller guarantees b is nowhere zero.
+Tensor div(const Tensor& a, const Tensor& b);
+/// Elementwise minimum (gradient flows to the smaller operand; ties to a).
+Tensor minimum(const Tensor& a, const Tensor& b);
+/// Elementwise maximum (gradient flows to the larger operand; ties to a).
+Tensor maximum(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
+
+// ---- scalar convenience ---------------------------------------------------
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ---- elementwise unary -----------------------------------------------------
+
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+/// Natural log; caller guarantees strictly positive input.
+Tensor log(const Tensor& a);
+/// Square root; caller guarantees non-negative input.
+Tensor sqrt(const Tensor& a);
+/// |x|; subgradient 0 at x == 0.
+Tensor abs(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor relu(const Tensor& a);
+/// Gaussian error linear unit (tanh approximation, as in GPT-style models).
+Tensor gelu(const Tensor& a);
+Tensor square(const Tensor& a);
+/// Clamp into [lo, hi]; zero gradient outside the active range.
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+// ---- matmul ----------------------------------------------------------------
+
+/// Matrix product. Supported shapes:
+///   (m,k) x (k,n)     -> (m,n)
+///   (b,m,k) x (k,n)   -> (b,m,n)   (shared rhs)
+///   (b,m,k) x (b,k,n) -> (b,m,n)   (batched)
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ---- reductions ------------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Tensor sum(const Tensor& a);
+/// Mean of all elements -> scalar.
+Tensor mean(const Tensor& a);
+/// Sum along one axis.
+Tensor sum(const Tensor& a, std::size_t axis, bool keepdim);
+/// Mean along one axis.
+Tensor mean(const Tensor& a, std::size_t axis, bool keepdim);
+/// Max along one axis (gradient routed to the first argmax).
+Tensor max(const Tensor& a, std::size_t axis, bool keepdim);
+/// Max of all elements -> scalar (gradient to first argmax).
+Tensor max_all(const Tensor& a);
+/// Numerically-stable softmax along one axis.
+Tensor softmax(const Tensor& a, std::size_t axis);
+/// Inclusive cumulative sum along one axis.
+Tensor cumsum(const Tensor& a, std::size_t axis);
+
+// ---- shape ops --------------------------------------------------------------
+
+/// Reshape to a new shape with the same numel (copying handle, zero-copy
+/// data share is not attempted; gradient reshapes back).
+Tensor reshape(const Tensor& a, Shape shape);
+/// Swap two axes (materialises a contiguous copy).
+Tensor transpose(const Tensor& a, std::size_t axis0, std::size_t axis1);
+/// Half-open slice [start, stop) along one axis.
+Tensor slice(const Tensor& a, std::size_t axis, std::int64_t start,
+             std::int64_t stop);
+/// Concatenate along one axis; all other dims must match.
+Tensor cat(const std::vector<Tensor>& parts, std::size_t axis);
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,222 @@
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace fmnet::tensor {
+
+namespace {
+
+struct AxisView {
+  std::int64_t outer = 1;  // product of dims before axis
+  std::int64_t len = 1;    // size of the reduced axis
+  std::int64_t inner = 1;  // product of dims after axis
+};
+
+AxisView axis_view(const Shape& shape, std::size_t axis) {
+  FMNET_CHECK_LT(axis, shape.size());
+  AxisView v;
+  for (std::size_t i = 0; i < axis; ++i) v.outer *= shape[i];
+  v.len = shape[axis];
+  for (std::size_t i = axis + 1; i < shape.size(); ++i) v.inner *= shape[i];
+  return v;
+}
+
+Shape reduced_shape(const Shape& shape, std::size_t axis, bool keepdim) {
+  Shape out = shape;
+  if (keepdim) {
+    out[axis] = 1;
+  } else {
+    out.erase(out.begin() + static_cast<std::ptrdiff_t>(axis));
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor sum(const Tensor& a) {
+  double acc = 0.0;
+  for (const float x : a.data()) acc += x;
+  auto an = a.node();
+  return make_op_result(Shape{}, {static_cast<float>(acc)}, {a},
+                        [an](Node& o) {
+                          an->ensure_grad();
+                          const float g = o.grad[0];
+                          for (auto& gx : an->grad) gx += g;
+                        });
+}
+
+Tensor mean(const Tensor& a) {
+  FMNET_CHECK_GT(a.numel(), 0);
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return mul_scalar(sum(a), inv);
+}
+
+Tensor sum(const Tensor& a, std::size_t axis, bool keepdim) {
+  const AxisView v = axis_view(a.shape(), axis);
+  Shape out_shape = reduced_shape(a.shape(), axis, keepdim);
+  std::vector<float> out(static_cast<std::size_t>(v.outer * v.inner), 0.0f);
+  const auto& av = a.data();
+  for (std::int64_t o = 0; o < v.outer; ++o) {
+    for (std::int64_t l = 0; l < v.len; ++l) {
+      const std::int64_t base = (o * v.len + l) * v.inner;
+      for (std::int64_t i = 0; i < v.inner; ++i) {
+        out[static_cast<std::size_t>(o * v.inner + i)] +=
+            av[static_cast<std::size_t>(base + i)];
+      }
+    }
+  }
+  auto an = a.node();
+  return make_op_result(std::move(out_shape), std::move(out), {a},
+                        [an, v](Node& o) {
+                          an->ensure_grad();
+                          for (std::int64_t ou = 0; ou < v.outer; ++ou) {
+                            for (std::int64_t l = 0; l < v.len; ++l) {
+                              const std::int64_t base =
+                                  (ou * v.len + l) * v.inner;
+                              for (std::int64_t i = 0; i < v.inner; ++i) {
+                                an->grad[static_cast<std::size_t>(base + i)] +=
+                                    o.grad[static_cast<std::size_t>(
+                                        ou * v.inner + i)];
+                              }
+                            }
+                          }
+                        });
+}
+
+Tensor mean(const Tensor& a, std::size_t axis, bool keepdim) {
+  const std::int64_t len = a.shape()[axis];
+  FMNET_CHECK_GT(len, 0);
+  return mul_scalar(sum(a, axis, keepdim), 1.0f / static_cast<float>(len));
+}
+
+Tensor max(const Tensor& a, std::size_t axis, bool keepdim) {
+  const AxisView v = axis_view(a.shape(), axis);
+  FMNET_CHECK_GT(v.len, 0);
+  Shape out_shape = reduced_shape(a.shape(), axis, keepdim);
+  std::vector<float> out(static_cast<std::size_t>(v.outer * v.inner));
+  std::vector<std::int64_t> argmax(out.size());
+  const auto& av = a.data();
+  for (std::int64_t o = 0; o < v.outer; ++o) {
+    for (std::int64_t i = 0; i < v.inner; ++i) {
+      std::int64_t best = o * v.len * v.inner + i;
+      float best_v = av[static_cast<std::size_t>(best)];
+      for (std::int64_t l = 1; l < v.len; ++l) {
+        const std::int64_t idx = (o * v.len + l) * v.inner + i;
+        if (av[static_cast<std::size_t>(idx)] > best_v) {
+          best_v = av[static_cast<std::size_t>(idx)];
+          best = idx;
+        }
+      }
+      out[static_cast<std::size_t>(o * v.inner + i)] = best_v;
+      argmax[static_cast<std::size_t>(o * v.inner + i)] = best;
+    }
+  }
+  auto an = a.node();
+  return make_op_result(
+      std::move(out_shape), std::move(out), {a},
+      [an, argmax](Node& o) {
+        an->ensure_grad();
+        for (std::size_t j = 0; j < argmax.size(); ++j) {
+          an->grad[static_cast<std::size_t>(argmax[j])] += o.grad[j];
+        }
+      });
+}
+
+Tensor max_all(const Tensor& a) {
+  FMNET_CHECK_GT(a.numel(), 0);
+  const auto& av = a.data();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < av.size(); ++i) {
+    if (av[i] > av[best]) best = i;
+  }
+  auto an = a.node();
+  return make_op_result(Shape{}, {av[best]}, {a}, [an, best](Node& o) {
+    an->ensure_grad();
+    an->grad[best] += o.grad[0];
+  });
+}
+
+Tensor softmax(const Tensor& a, std::size_t axis) {
+  const AxisView v = axis_view(a.shape(), axis);
+  std::vector<float> out(a.data().size());
+  const auto& av = a.data();
+  for (std::int64_t o = 0; o < v.outer; ++o) {
+    for (std::int64_t i = 0; i < v.inner; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t l = 0; l < v.len; ++l) {
+        mx = std::max(mx,
+                      av[static_cast<std::size_t>((o * v.len + l) * v.inner +
+                                                  i)]);
+      }
+      float denom = 0.0f;
+      for (std::int64_t l = 0; l < v.len; ++l) {
+        const auto idx = static_cast<std::size_t>((o * v.len + l) * v.inner +
+                                                  i);
+        out[idx] = std::exp(av[idx] - mx);
+        denom += out[idx];
+      }
+      for (std::int64_t l = 0; l < v.len; ++l) {
+        out[static_cast<std::size_t>((o * v.len + l) * v.inner + i)] /= denom;
+      }
+    }
+  }
+  auto an = a.node();
+  return make_op_result(
+      a.shape(), std::move(out), {a}, [an, v](Node& o) {
+        an->ensure_grad();
+        // dx = y * (g - sum(g * y)) per softmax fibre.
+        for (std::int64_t ou = 0; ou < v.outer; ++ou) {
+          for (std::int64_t i = 0; i < v.inner; ++i) {
+            float dot = 0.0f;
+            for (std::int64_t l = 0; l < v.len; ++l) {
+              const auto idx = static_cast<std::size_t>(
+                  (ou * v.len + l) * v.inner + i);
+              dot += o.grad[idx] * o.data[idx];
+            }
+            for (std::int64_t l = 0; l < v.len; ++l) {
+              const auto idx = static_cast<std::size_t>(
+                  (ou * v.len + l) * v.inner + i);
+              an->grad[idx] += o.data[idx] * (o.grad[idx] - dot);
+            }
+          }
+        }
+      });
+}
+
+Tensor cumsum(const Tensor& a, std::size_t axis) {
+  const AxisView v = axis_view(a.shape(), axis);
+  std::vector<float> out(a.data().size());
+  const auto& av = a.data();
+  for (std::int64_t o = 0; o < v.outer; ++o) {
+    for (std::int64_t i = 0; i < v.inner; ++i) {
+      float acc = 0.0f;
+      for (std::int64_t l = 0; l < v.len; ++l) {
+        const auto idx = static_cast<std::size_t>((o * v.len + l) * v.inner +
+                                                  i);
+        acc += av[idx];
+        out[idx] = acc;
+      }
+    }
+  }
+  auto an = a.node();
+  return make_op_result(
+      a.shape(), std::move(out), {a}, [an, v](Node& o) {
+        an->ensure_grad();
+        // grad of inclusive cumsum = reversed cumulative sum of out-grads.
+        for (std::int64_t ou = 0; ou < v.outer; ++ou) {
+          for (std::int64_t i = 0; i < v.inner; ++i) {
+            float acc = 0.0f;
+            for (std::int64_t l = v.len; l-- > 0;) {
+              const auto idx = static_cast<std::size_t>(
+                  (ou * v.len + l) * v.inner + i);
+              acc += o.grad[idx];
+              an->grad[idx] += acc;
+            }
+          }
+        }
+      });
+}
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,159 @@
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace fmnet::tensor {
+
+Tensor reshape(const Tensor& a, Shape shape) {
+  FMNET_CHECK_EQ(numel(shape), a.numel());
+  auto an = a.node();
+  return make_op_result(std::move(shape), a.data(), {a}, [an](Node& o) {
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o.grad.size(); ++i) an->grad[i] += o.grad[i];
+  });
+}
+
+Tensor transpose(const Tensor& a, std::size_t axis0, std::size_t axis1) {
+  const Shape& in_shape = a.shape();
+  FMNET_CHECK_LT(axis0, in_shape.size());
+  FMNET_CHECK_LT(axis1, in_shape.size());
+  Shape out_shape = in_shape;
+  std::swap(out_shape[axis0], out_shape[axis1]);
+
+  const auto in_strides = strides_for(in_shape);
+  auto perm_strides = in_strides;
+  std::swap(perm_strides[axis0], perm_strides[axis1]);
+
+  const std::int64_t n = a.numel();
+  std::vector<float> out(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> src(static_cast<std::size_t>(n));
+  // Walk the output in row-major order; the matching input offset follows
+  // the permuted strides.
+  {
+    std::vector<std::int64_t> idx(out_shape.size(), 0);
+    std::int64_t off = 0;
+    const auto& av = a.data();
+    for (std::int64_t lin = 0; lin < n; ++lin) {
+      out[static_cast<std::size_t>(lin)] = av[static_cast<std::size_t>(off)];
+      src[static_cast<std::size_t>(lin)] = off;
+      for (std::size_t d = out_shape.size(); d-- > 0;) {
+        ++idx[d];
+        off += perm_strides[d];
+        if (idx[d] < out_shape[d]) break;
+        off -= perm_strides[d] * out_shape[d];
+        idx[d] = 0;
+      }
+    }
+  }
+  auto an = a.node();
+  return make_op_result(std::move(out_shape), std::move(out), {a},
+                        [an, src = std::move(src)](Node& o) {
+                          an->ensure_grad();
+                          for (std::size_t i = 0; i < o.grad.size(); ++i) {
+                            an->grad[static_cast<std::size_t>(src[i])] +=
+                                o.grad[i];
+                          }
+                        });
+}
+
+Tensor slice(const Tensor& a, std::size_t axis, std::int64_t start,
+             std::int64_t stop) {
+  const Shape& in_shape = a.shape();
+  FMNET_CHECK_LT(axis, in_shape.size());
+  FMNET_CHECK(start >= 0 && start <= stop && stop <= in_shape[axis],
+              "slice range out of bounds");
+  Shape out_shape = in_shape;
+  out_shape[axis] = stop - start;
+
+  std::int64_t outer = 1;
+  for (std::size_t i = 0; i < axis; ++i) outer *= in_shape[i];
+  std::int64_t inner = 1;
+  for (std::size_t i = axis + 1; i < in_shape.size(); ++i) {
+    inner *= in_shape[i];
+  }
+  const std::int64_t in_len = in_shape[axis];
+  const std::int64_t out_len = stop - start;
+
+  std::vector<float> out(static_cast<std::size_t>(outer * out_len * inner));
+  const auto& av = a.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* src = av.data() + (o * in_len + start) * inner;
+    float* dst = out.data() + o * out_len * inner;
+    std::copy(src, src + out_len * inner, dst);
+  }
+  auto an = a.node();
+  return make_op_result(
+      std::move(out_shape), std::move(out), {a},
+      [an, outer, inner, in_len, out_len, start](Node& o) {
+        an->ensure_grad();
+        for (std::int64_t ou = 0; ou < outer; ++ou) {
+          const float* g = o.grad.data() + ou * out_len * inner;
+          float* dst = an->grad.data() + (ou * in_len + start) * inner;
+          for (std::int64_t j = 0; j < out_len * inner; ++j) dst[j] += g[j];
+        }
+      });
+}
+
+Tensor cat(const std::vector<Tensor>& parts, std::size_t axis) {
+  FMNET_CHECK(!parts.empty(), "cat of zero tensors");
+  const Shape& first = parts.front().shape();
+  FMNET_CHECK_LT(axis, first.size());
+  Shape out_shape = first;
+  std::int64_t total_len = 0;
+  for (const Tensor& p : parts) {
+    const Shape& s = p.shape();
+    FMNET_CHECK_EQ(s.size(), first.size());
+    for (std::size_t d = 0; d < s.size(); ++d) {
+      if (d != axis) FMNET_CHECK_EQ(s[d], first[d]);
+    }
+    total_len += s[axis];
+  }
+  out_shape[axis] = total_len;
+
+  std::int64_t outer = 1;
+  for (std::size_t i = 0; i < axis; ++i) outer *= first[i];
+  std::int64_t inner = 1;
+  for (std::size_t i = axis + 1; i < first.size(); ++i) inner *= first[i];
+
+  std::vector<float> out(static_cast<std::size_t>(outer * total_len * inner));
+  std::vector<std::int64_t> lens;
+  lens.reserve(parts.size());
+  for (const Tensor& p : parts) lens.push_back(p.shape()[axis]);
+
+  std::int64_t off_len = 0;
+  for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+    const auto& pv = parts[pi].data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      const float* src = pv.data() + o * lens[pi] * inner;
+      float* dst = out.data() + (o * total_len + off_len) * inner;
+      std::copy(src, src + lens[pi] * inner, dst);
+    }
+    off_len += lens[pi];
+  }
+
+  std::vector<std::shared_ptr<Node>> pnodes;
+  pnodes.reserve(parts.size());
+  for (const Tensor& p : parts) pnodes.push_back(p.node());
+  return make_op_result(
+      std::move(out_shape), std::move(out), parts,
+      [pnodes, lens, outer, inner, total_len](Node& o) {
+        std::int64_t off = 0;
+        for (std::size_t pi = 0; pi < pnodes.size(); ++pi) {
+          if (pnodes[pi]->requires_grad) {
+            pnodes[pi]->ensure_grad();
+            for (std::int64_t ou = 0; ou < outer; ++ou) {
+              const float* g =
+                  o.grad.data() + (ou * total_len + off) * inner;
+              float* dst = pnodes[pi]->grad.data() + ou * lens[pi] * inner;
+              for (std::int64_t j = 0; j < lens[pi] * inner; ++j) {
+                dst[j] += g[j];
+              }
+            }
+          }
+          off += lens[pi];
+        }
+      });
+}
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,213 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fmnet::tensor {
+
+std::int64_t numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    FMNET_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<std::int64_t> strides_for(const Shape& shape) {
+  std::vector<std::int64_t> s(shape.size(), 1);
+  for (std::size_t i = shape.size(); i-- > 1;) {
+    s[i - 1] = s[i] * shape[i];
+  }
+  return s;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::vector<float>& Node::ensure_grad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  return grad;
+}
+
+namespace {
+std::shared_ptr<Node> make_leaf(Shape shape, std::vector<float> data,
+                                bool requires_grad) {
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(data.size()), numel(shape));
+  auto n = std::make_shared<Node>();
+  n->shape = std::move(shape);
+  n->data = std::move(data);
+  n->requires_grad = requires_grad;
+  return n;
+}
+}  // namespace
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  const auto n = static_cast<std::size_t>(tensor::numel(shape));
+  return Tensor(make_leaf(std::move(shape), std::vector<float>(n, 0.0f),
+                          requires_grad));
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  const auto n = static_cast<std::size_t>(tensor::numel(shape));
+  return Tensor(make_leaf(std::move(shape), std::vector<float>(n, value),
+                          requires_grad));
+}
+
+Tensor Tensor::from_vector(std::vector<float> data, Shape shape,
+                           bool requires_grad) {
+  return Tensor(make_leaf(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return Tensor(make_leaf(Shape{}, {value}, requires_grad));
+}
+
+Tensor Tensor::randn(Shape shape, fmnet::Rng& rng, float stddev,
+                     bool requires_grad) {
+  const auto n = static_cast<std::size_t>(tensor::numel(shape));
+  std::vector<float> data(n);
+  for (auto& x : data) {
+    x = static_cast<float>(rng.normal(0.0, static_cast<double>(stddev)));
+  }
+  return Tensor(make_leaf(std::move(shape), std::move(data), requires_grad));
+}
+
+const Shape& Tensor::shape() const {
+  FMNET_CHECK(defined(), "shape() on undefined tensor");
+  return node_->shape;
+}
+
+std::int64_t Tensor::dim(std::size_t axis) const {
+  FMNET_CHECK_LT(axis, ndim());
+  return shape()[axis];
+}
+
+std::size_t Tensor::ndim() const { return shape().size(); }
+
+std::int64_t Tensor::numel() const { return tensor::numel(shape()); }
+
+std::vector<float>& Tensor::data() {
+  FMNET_CHECK(defined(), "data() on undefined tensor");
+  return node_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  FMNET_CHECK(defined(), "data() on undefined tensor");
+  return node_->data;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  FMNET_CHECK(defined(), "grad() on undefined tensor");
+  FMNET_CHECK(node_->requires_grad, "grad() on tensor without requires_grad");
+  FMNET_CHECK(!node_->grad.empty(),
+              "grad() before backward() reached this tensor");
+  return node_->grad;
+}
+
+float Tensor::item() const {
+  FMNET_CHECK_EQ(numel(), 1);
+  return data()[0];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  FMNET_CHECK_EQ(index.size(), ndim());
+  const auto st = strides_for(shape());
+  std::int64_t off = 0;
+  std::size_t axis = 0;
+  for (const std::int64_t i : index) {
+    FMNET_CHECK(i >= 0 && i < shape()[axis], "index out of bounds");
+    off += i * st[axis];
+    ++axis;
+  }
+  return data()[static_cast<std::size_t>(off)];
+}
+
+bool Tensor::requires_grad() const {
+  FMNET_CHECK(defined(), "requires_grad() on undefined tensor");
+  return node_->requires_grad;
+}
+
+void Tensor::backward() {
+  FMNET_CHECK(defined(), "backward() on undefined tensor");
+  FMNET_CHECK_EQ(numel(), 1);
+  FMNET_CHECK(node_->requires_grad,
+              "backward() from a tensor that does not require grad");
+
+  // Topological order via iterative DFS (post-order).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      Node* child = n->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad();
+  node_->grad[0] += 1.0f;
+  // order is post-order (children first); walk it from the back so each
+  // node's grad is complete before it propagates to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) {
+      n->ensure_grad();
+      n->backward_fn(*n);
+    }
+  }
+}
+
+void Tensor::zero_grad() {
+  FMNET_CHECK(defined(), "zero_grad() on undefined tensor");
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::detach() const {
+  FMNET_CHECK(defined(), "detach() on undefined tensor");
+  return from_vector(node_->data, node_->shape, /*requires_grad=*/false);
+}
+
+Tensor make_op_result(Shape shape, std::vector<float> data,
+                      std::vector<Tensor> inputs,
+                      std::function<void(Node& out)> backward_fn) {
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(data.size()), numel(shape));
+  auto n = std::make_shared<Node>();
+  n->shape = std::move(shape);
+  n->data = std::move(data);
+  for (const Tensor& in : inputs) {
+    FMNET_CHECK(in.defined(), "op input tensor is undefined");
+    n->parents.push_back(in.node());
+    n->requires_grad = n->requires_grad || in.requires_grad();
+  }
+  if (n->requires_grad) n->backward_fn = std::move(backward_fn);
+  return Tensor(std::move(n));
+}
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,140 @@
+// A small dense float tensor with reverse-mode automatic differentiation.
+//
+// This is the substrate on which FMNet's transformer (src/nn) is built; the
+// paper uses PyTorch, which is not available offline, so we implement the
+// needed subset from scratch:
+//
+//  * row-major contiguous float storage,
+//  * NumPy-style broadcasting for elementwise binary ops,
+//  * matmul (2-D and batched 3-D), reductions, softmax, activations,
+//  * shape ops (reshape / transpose / slice / concat),
+//  * a tape-free dynamic autograd graph: each op captures its parents and a
+//    backward closure; Tensor::backward() runs a topological sweep.
+//
+// Tensor is a cheap value-semantic handle (shared_ptr to a node). Copying a
+// Tensor aliases the same storage and graph node, mirroring torch semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fmnet::tensor {
+
+/// Tensor dimensions, outermost first. An empty shape denotes a scalar.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements described by a shape.
+std::int64_t numel(const Shape& shape);
+
+/// Row-major strides for a shape.
+std::vector<std::int64_t> strides_for(const Shape& shape);
+
+/// Human-readable "[2, 3]" rendering.
+std::string shape_to_string(const Shape& shape);
+
+struct Node;  // internal autograd node
+
+/// Handle to a tensor node. See file comment for semantics.
+class Tensor {
+ public:
+  /// Null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// True when the handle points at a node.
+  bool defined() const { return node_ != nullptr; }
+
+  // ---- factories ---------------------------------------------------------
+
+  /// All-zeros tensor.
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  /// All-ones tensor.
+  static Tensor ones(Shape shape, bool requires_grad = false);
+  /// Constant-filled tensor.
+  static Tensor full(Shape shape, float value, bool requires_grad = false);
+  /// Wraps a flat row-major buffer; data.size() must equal numel(shape).
+  static Tensor from_vector(std::vector<float> data, Shape shape,
+                            bool requires_grad = false);
+  /// Scalar tensor.
+  static Tensor scalar(float value, bool requires_grad = false);
+  /// Gaussian-initialised tensor (mean 0).
+  static Tensor randn(Shape shape, fmnet::Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+
+  // ---- structure ---------------------------------------------------------
+
+  const Shape& shape() const;
+  std::int64_t dim(std::size_t axis) const;
+  std::size_t ndim() const;
+  std::int64_t numel() const;
+
+  // ---- data access -------------------------------------------------------
+
+  /// Mutable flat storage. Mutating data of a tensor that already has
+  /// dependants in a graph is caller's responsibility.
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+
+  /// Gradient buffer (same shape, flat). Empty until backward() reaches
+  /// this node; requires requires_grad().
+  const std::vector<float>& grad() const;
+
+  /// Value of a scalar tensor.
+  float item() const;
+
+  /// Bounds-checked element read by multi-index.
+  float at(std::initializer_list<std::int64_t> index) const;
+
+  // ---- autograd ----------------------------------------------------------
+
+  bool requires_grad() const;
+
+  /// Runs reverse-mode accumulation from this scalar tensor. Gradients
+  /// accumulate (+=) into every reachable node with requires_grad.
+  void backward();
+
+  /// Clears this node's gradient buffer (used by optimisers).
+  void zero_grad();
+
+  /// Detaches from the graph: returns a tensor sharing *copied* data with
+  /// no parents and no grad requirement.
+  Tensor detach() const;
+
+  // ---- internals (used by op implementations) ----------------------------
+
+  explicit Tensor(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Autograd node. Public so free-function ops (ops.cpp etc.) can build the
+/// graph; user code should stick to the Tensor API.
+struct Node {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily sized on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates the output node's grad (passed by reference to avoid a
+  /// closure->self shared_ptr cycle) into parents' grads.
+  std::function<void(Node& out)> backward_fn;
+
+  /// Ensures grad is allocated (zero-filled) and returns it.
+  std::vector<float>& ensure_grad();
+};
+
+/// Creates a fresh op-result node; requires_grad and parents are derived
+/// from the inputs. `backward_fn` receives the finished output node and
+/// must add contributions into each input's grad buffer.
+Tensor make_op_result(Shape shape, std::vector<float> data,
+                      std::vector<Tensor> inputs,
+                      std::function<void(Node& out)> backward_fn);
+
+}  // namespace fmnet::tensor

@@ -1,0 +1,144 @@
+#include "traffic/sources.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fmnet::traffic {
+
+PoissonSource::PoissonSource(double packets_per_slot, std::int32_t num_ports,
+                             std::int32_t queue_class, fmnet::Rng rng)
+    : rate_(packets_per_slot),
+      num_ports_(num_ports),
+      queue_class_(queue_class),
+      rng_(rng) {
+  FMNET_CHECK_GE(packets_per_slot, 0.0);
+  FMNET_CHECK_GT(num_ports, 0);
+}
+
+void PoissonSource::generate(std::int64_t /*slot*/,
+                             std::vector<Arrival>& out) {
+  const std::int64_t n = rng_.poisson(rate_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<std::int32_t>(
+                       rng_.uniform_int(0, num_ports_ - 1)),
+                   queue_class_});
+  }
+}
+
+void FlowEngine::add(Flow flow) {
+  FMNET_CHECK_GT(flow.remaining, 0);
+  FMNET_CHECK(flow.emit_prob > 0.0 && flow.emit_prob <= 1.0,
+              "emit_prob must be in (0, 1]");
+  flows_.push_back(flow);
+}
+
+void FlowEngine::emit(std::vector<Arrival>& out, fmnet::Rng& rng) {
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (f.emit_prob >= 1.0 || rng.bernoulli(f.emit_prob)) {
+      out.push_back({f.dst_port, f.queue_class});
+      --f.remaining;
+    }
+    if (f.remaining > 0) {
+      flows_[write++] = f;
+    }
+  }
+  flows_.resize(write);
+}
+
+WebsearchSource::WebsearchSource(WebsearchConfig config,
+                                 std::int32_t num_ports, fmnet::Rng rng)
+    : config_(config), num_ports_(num_ports), rng_(rng) {
+  FMNET_CHECK_GT(num_ports, 0);
+  FMNET_CHECK_GT(config.size_min_pkts, 0.0);
+  FMNET_CHECK_GT(config.size_max_pkts, config.size_min_pkts);
+}
+
+void WebsearchSource::generate(std::int64_t /*slot*/,
+                               std::vector<Arrival>& out) {
+  const std::int64_t new_flows = rng_.poisson(config_.flow_rate);
+  for (std::int64_t i = 0; i < new_flows; ++i) {
+    Flow f;
+    f.dst_port = static_cast<std::int32_t>(
+        rng_.uniform_int(0, num_ports_ - 1));
+    f.remaining = static_cast<std::int64_t>(std::llround(
+        rng_.bounded_pareto(config_.size_alpha, config_.size_min_pkts,
+                            config_.size_max_pkts)));
+    f.remaining = std::max<std::int64_t>(1, f.remaining);
+    f.queue_class = f.remaining <= config_.short_flow_threshold ? 0 : 1;
+    f.emit_prob = config_.emit_prob;
+    engine_.add(f);
+  }
+  engine_.emit(out, rng_);
+}
+
+IncastSource::IncastSource(IncastConfig config, std::int32_t num_ports,
+                           fmnet::Rng rng)
+    : config_(config), num_ports_(num_ports), rng_(rng) {
+  FMNET_CHECK_GT(num_ports, 0);
+  FMNET_CHECK_GT(config.fan_in, 0);
+  FMNET_CHECK_GT(config.pkts_per_sender, 0);
+}
+
+void IncastSource::inject_event(std::int32_t victim_port) {
+  FMNET_CHECK(victim_port >= 0 && victim_port < num_ports_,
+              "victim port out of range");
+  for (std::int32_t s = 0; s < config_.fan_in; ++s) {
+    Flow f;
+    f.dst_port = victim_port;
+    f.queue_class = config_.queue_class;
+    f.remaining = config_.pkts_per_sender;
+    f.emit_prob = config_.emit_prob;
+    engine_.add(f);
+  }
+}
+
+void IncastSource::generate(std::int64_t /*slot*/,
+                            std::vector<Arrival>& out) {
+  const std::int64_t events = rng_.poisson(config_.event_rate);
+  for (std::int64_t e = 0; e < events; ++e) {
+    inject_event(static_cast<std::int32_t>(
+        rng_.uniform_int(0, num_ports_ - 1)));
+  }
+  engine_.emit(out, rng_);
+}
+
+void CompositeSource::add(std::unique_ptr<TrafficSource> source) {
+  FMNET_CHECK(source != nullptr, "null traffic source");
+  sources_.push_back(std::move(source));
+}
+
+void CompositeSource::generate(std::int64_t slot, std::vector<Arrival>& out) {
+  for (const auto& s : sources_) s->generate(slot, out);
+}
+
+std::unique_ptr<TrafficSource> make_paper_workload(std::int32_t num_ports,
+                                                   std::uint64_t seed) {
+  fmnet::Rng master(seed);
+  auto composite = std::make_unique<CompositeSource>();
+  WebsearchConfig ws;
+  // Scale flow arrivals with port count so per-port load stays moderate
+  // (~45% average load) and congestion comes from fan-in collisions and
+  // incast, as in the ABM scenario. Sub-line-rate senders stretch flows
+  // over longer episodes, which is what makes queue build-ups last tens of
+  // milliseconds rather than isolated spikes.
+  ws.flow_rate = 0.0045 * static_cast<double>(num_ports);
+  ws.emit_prob = 0.5;
+  composite->add(
+      std::make_unique<WebsearchSource>(ws, num_ports, master.fork()));
+  IncastConfig in;
+  in.event_rate = 3.0e-5 * static_cast<double>(num_ports);
+  in.fan_in = 16;
+  in.pkts_per_sender = 180;
+  in.emit_prob = 0.35;
+  composite->add(
+      std::make_unique<IncastSource>(in, num_ports, master.fork()));
+  composite->add(std::make_unique<PoissonSource>(
+      0.05 * static_cast<double>(num_ports), num_ports, 0, master.fork()));
+  return composite;
+}
+
+}  // namespace fmnet::traffic

@@ -1,0 +1,61 @@
+#include "traffic/trace.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace fmnet::traffic {
+
+std::int64_t Trace::total_packets() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots) n += static_cast<std::int64_t>(s.size());
+  return n;
+}
+
+Trace record_trace(TrafficSource& source, std::int64_t num_slots) {
+  FMNET_CHECK_GE(num_slots, 0);
+  Trace trace;
+  trace.slots.resize(static_cast<std::size_t>(num_slots));
+  for (std::int64_t s = 0; s < num_slots; ++s) {
+    source.generate(s, trace.slots[static_cast<std::size_t>(s)]);
+  }
+  return trace;
+}
+
+TraceSource::TraceSource(Trace trace) : trace_(std::move(trace)) {}
+
+void TraceSource::generate(std::int64_t slot, std::vector<Arrival>& out) {
+  if (slot < 0 || slot >= static_cast<std::int64_t>(trace_.slots.size())) {
+    return;
+  }
+  const auto& arrivals = trace_.slots[static_cast<std::size_t>(slot)];
+  out.insert(out.end(), arrivals.begin(), arrivals.end());
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  FMNET_CHECK(out.good(), "cannot open " + path + " for writing");
+  for (std::size_t s = 0; s < trace.slots.size(); ++s) {
+    for (const Arrival& a : trace.slots[s]) {
+      out << s << ' ' << a.dst_port << ' ' << a.queue_class << '\n';
+    }
+  }
+  FMNET_CHECK(out.good(), "write to " + path + " failed");
+}
+
+Trace load_trace(const std::string& path, std::int64_t num_slots) {
+  std::ifstream in(path);
+  FMNET_CHECK(in.good(), "cannot open " + path + " for reading");
+  Trace trace;
+  trace.slots.resize(static_cast<std::size_t>(num_slots));
+  std::int64_t slot = 0;
+  Arrival a;
+  while (in >> slot >> a.dst_port >> a.queue_class) {
+    FMNET_CHECK(slot >= 0 && slot < num_slots,
+                "trace slot out of range in " + path);
+    trace.slots[static_cast<std::size_t>(slot)].push_back(a);
+  }
+  return trace;
+}
+
+}  // namespace fmnet::traffic

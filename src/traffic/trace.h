@@ -1,0 +1,38 @@
+// Deterministic packet traces: capture any source's output, replay it, and
+// persist it to a simple text format so experiments can be re-run
+// bit-for-bit or inspected offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traffic/sources.h"
+
+namespace fmnet::traffic {
+
+/// In-memory packet trace: arrivals grouped per slot.
+struct Trace {
+  std::vector<std::vector<Arrival>> slots;
+
+  std::int64_t total_packets() const;
+};
+
+/// Runs `source` for `num_slots` and captures everything it emits.
+Trace record_trace(TrafficSource& source, std::int64_t num_slots);
+
+/// Replays a Trace slot by slot; slots beyond the trace length are empty.
+class TraceSource : public TrafficSource {
+ public:
+  explicit TraceSource(Trace trace);
+  void generate(std::int64_t slot, std::vector<Arrival>& out) override;
+
+ private:
+  Trace trace_;
+};
+
+/// Text format: one line per packet, "slot dst_port queue_class",
+/// ascending slot order.
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path, std::int64_t num_slots);
+
+}  // namespace fmnet::traffic

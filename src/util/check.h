@@ -1,0 +1,60 @@
+// Runtime checking macros used across FMNet.
+//
+// FMNET_CHECK(cond, msg)  — throws fmnet::CheckError when cond is false.
+// FMNET_CHECK_OP variants — comparison checks that include both operands in
+//                           the failure message.
+//
+// These are enabled in all build types: FMNet is a research library where a
+// silently-wrong answer is far more expensive than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fmnet {
+
+/// Exception thrown when an FMNET_CHECK fails. Carries the failing
+/// expression, file and line in what().
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FMNET_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace fmnet
+
+#define FMNET_CHECK(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::fmnet::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (0)
+
+#define FMNET_CHECK_BINOP(a, op, b)                                         \
+  do {                                                                      \
+    const auto& va_ = (a);                                                  \
+    const auto& vb_ = (b);                                                  \
+    if (!(va_ op vb_)) {                                                    \
+      std::ostringstream os_;                                               \
+      os_ << "lhs=" << va_ << " rhs=" << vb_;                               \
+      ::fmnet::detail::check_failed(#a " " #op " " #b, __FILE__, __LINE__,  \
+                                    os_.str());                             \
+    }                                                                       \
+  } while (0)
+
+#define FMNET_CHECK_EQ(a, b) FMNET_CHECK_BINOP(a, ==, b)
+#define FMNET_CHECK_NE(a, b) FMNET_CHECK_BINOP(a, !=, b)
+#define FMNET_CHECK_LT(a, b) FMNET_CHECK_BINOP(a, <, b)
+#define FMNET_CHECK_LE(a, b) FMNET_CHECK_BINOP(a, <=, b)
+#define FMNET_CHECK_GT(a, b) FMNET_CHECK_BINOP(a, >, b)
+#define FMNET_CHECK_GE(a, b) FMNET_CHECK_BINOP(a, >=, b)

@@ -1,0 +1,44 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/time_series.h"
+
+namespace fmnet {
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  FMNET_CHECK_EQ(column_names.size(), columns.size());
+  FMNET_CHECK(!columns.empty(), "write_csv needs at least one column");
+  const std::size_t rows = columns.front().size();
+  for (const auto& col : columns) FMNET_CHECK_EQ(col.size(), rows);
+
+  std::ofstream out(path);
+  FMNET_CHECK(out.good(), "cannot open " + path + " for writing");
+  for (std::size_t c = 0; c < column_names.size(); ++c) {
+    if (c) out << ',';
+    out << column_names[c];
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << ',';
+      out << columns[c][r];
+    }
+    out << '\n';
+  }
+  FMNET_CHECK(out.good(), "write to " + path + " failed");
+}
+
+void write_csv_series(const std::string& path,
+                      const std::vector<std::string>& column_names,
+                      const std::vector<TimeSeries>& columns) {
+  std::vector<std::vector<double>> cols;
+  cols.reserve(columns.size());
+  for (const auto& ts : columns) cols.push_back(ts.values());
+  write_csv(path, column_names, cols);
+}
+
+}  // namespace fmnet

@@ -1,0 +1,24 @@
+// Minimal CSV writer used by benches to dump figure data (one column per
+// series) so that plots can be regenerated outside the harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fmnet {
+
+class TimeSeries;
+
+/// Writes named columns of equal length to `path` as CSV with a header row.
+/// Throws CheckError on size mismatch or I/O failure.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+/// Convenience overload for TimeSeries columns (values only; callers align
+/// steps themselves).
+void write_csv_series(const std::string& path,
+                      const std::vector<std::string>& column_names,
+                      const std::vector<TimeSeries>& columns);
+
+}  // namespace fmnet

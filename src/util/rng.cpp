@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace fmnet {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // All-zero state would be a fixed point; splitmix64 never returns four
+  // zeros in a row for any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FMNET_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FMNET_CHECK_LE(lo, hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      std::numeric_limits<std::uint64_t>::max() % span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double rate) {
+  FMNET_CHECK_GT(rate, 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  FMNET_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = std::round(normal(mean, std::sqrt(mean)));
+    return v < 0.0 ? 0 : static_cast<std::int64_t>(v);
+  }
+  const double l = std::exp(-mean);
+  std::int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) {
+  FMNET_CHECK_GT(alpha, 0.0);
+  FMNET_CHECK(lo > 0.0 && hi > lo, "bounded_pareto requires 0 < lo < hi");
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    FMNET_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FMNET_CHECK_GT(total, 0.0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: landed exactly on total
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace fmnet

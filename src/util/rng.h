@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for simulations and training.
+//
+// FMNet never uses std::random_device or global RNG state: every stochastic
+// component takes an explicit Rng (or a seed) so that every experiment,
+// table and figure in the paper reproduction is replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fmnet {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Small, fast, and statistically
+/// strong enough for workload generation and weight initialisation.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponentially distributed sample with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::int64_t poisson(double mean);
+
+  /// Bounded Pareto sample in [lo, hi] with shape alpha (heavy-tailed flow
+  /// sizes).
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Samples an index from a discrete distribution given *unnormalised*
+  /// non-negative weights. Requires at least one positive weight.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; useful for giving each
+  /// component its own stream from one master seed.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace fmnet

@@ -1,0 +1,56 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fmnet {
+
+double mean(const std::vector<double>& v) {
+  FMNET_CHECK(!v.empty(), "mean of empty vector");
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  const double m = mean(v);
+  double acc = 0.0;
+  for (const double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double percentile(std::vector<double> v, double p) {
+  FMNET_CHECK(!v.empty(), "percentile of empty vector");
+  FMNET_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  FMNET_CHECK_EQ(a.size(), b.size());
+  FMNET_CHECK_GE(a.size(), 2u);
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double scalar_normalized_error(double a, double b, double eps) {
+  return std::abs(a - b) / (std::abs(b) + eps);
+}
+
+}  // namespace fmnet

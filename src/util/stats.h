@@ -1,0 +1,25 @@
+// Small statistics helpers shared by evaluation code and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fmnet {
+
+/// Arithmetic mean; requires non-empty input.
+double mean(const std::vector<double>& v);
+
+/// Population standard deviation; requires non-empty input.
+double stddev(const std::vector<double>& v);
+
+/// Linear-interpolated percentile, p in [0, 100]; requires non-empty input.
+double percentile(std::vector<double> v, double p);
+
+/// Pearson correlation coefficient; requires equal sizes >= 2. Returns 0
+/// when either side has zero variance.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// |a - b| / (|b| + eps): scalar normalised error against reference b.
+double scalar_normalized_error(double a, double b, double eps = 1e-9);
+
+}  // namespace fmnet

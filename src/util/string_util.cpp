@@ -1,0 +1,32 @@
+#include "util/string_util.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace fmnet {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, delim)) out.push_back(item);
+  if (!s.empty() && s.back() == delim) out.emplace_back();
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool fast_mode() {
+  const char* v = std::getenv("FMNET_FAST");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace fmnet

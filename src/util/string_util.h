@@ -1,0 +1,20 @@
+// Small string helpers (no dependency on fmt/abseil offline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fmnet {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True when the FMNET_FAST environment variable is set to a non-empty,
+/// non-"0" value. Benches use it to shrink campaigns for smoke runs.
+bool fast_mode();
+
+}  // namespace fmnet

@@ -1,0 +1,31 @@
+// Aligned ASCII table printer used by the benchmark harnesses to render
+// paper-style tables (e.g. Table 1) on stdout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fmnet {
+
+/// Accumulates rows of cells and prints them with aligned columns.
+class Table {
+ public:
+  /// Sets the header row.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fmnet

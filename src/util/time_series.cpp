@@ -1,0 +1,134 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace fmnet {
+
+TimeSeries::TimeSeries(std::size_t size, double step_ms)
+    : values_(size, 0.0), step_ms_(step_ms) {
+  FMNET_CHECK_GT(step_ms, 0.0);
+}
+
+TimeSeries::TimeSeries(std::vector<double> values, double step_ms)
+    : values_(std::move(values)), step_ms_(step_ms) {
+  FMNET_CHECK_GT(step_ms, 0.0);
+}
+
+double TimeSeries::at(std::size_t i) const {
+  FMNET_CHECK_LT(i, values_.size());
+  return values_[i];
+}
+
+double TimeSeries::max() const {
+  FMNET_CHECK(!empty(), "max() of empty series");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::min() const {
+  FMNET_CHECK(!empty(), "min() of empty series");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::mean() const {
+  FMNET_CHECK(!empty(), "mean() of empty series");
+  return sum() / static_cast<double>(size());
+}
+
+double TimeSeries::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+TimeSeries TimeSeries::slice(std::size_t begin, std::size_t end) const {
+  FMNET_CHECK_LE(begin, end);
+  FMNET_CHECK_LE(end, size());
+  return TimeSeries(
+      std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          values_.begin() + static_cast<std::ptrdiff_t>(end)),
+      step_ms_);
+}
+
+TimeSeries TimeSeries::downsample_instant(std::size_t factor) const {
+  FMNET_CHECK_GT(factor, 0u);
+  FMNET_CHECK_EQ(size() % factor, 0u);
+  std::vector<double> out;
+  out.reserve(size() / factor);
+  for (std::size_t i = 0; i < size(); i += factor) out.push_back(values_[i]);
+  return TimeSeries(std::move(out), step_ms_ * static_cast<double>(factor));
+}
+
+TimeSeries TimeSeries::downsample_max(std::size_t factor) const {
+  FMNET_CHECK_GT(factor, 0u);
+  FMNET_CHECK_EQ(size() % factor, 0u);
+  std::vector<double> out;
+  out.reserve(size() / factor);
+  for (std::size_t i = 0; i < size(); i += factor) {
+    double m = values_[i];
+    for (std::size_t j = 1; j < factor; ++j) m = std::max(m, values_[i + j]);
+    out.push_back(m);
+  }
+  return TimeSeries(std::move(out), step_ms_ * static_cast<double>(factor));
+}
+
+TimeSeries TimeSeries::downsample_sum(std::size_t factor) const {
+  FMNET_CHECK_GT(factor, 0u);
+  FMNET_CHECK_EQ(size() % factor, 0u);
+  std::vector<double> out;
+  out.reserve(size() / factor);
+  for (std::size_t i = 0; i < size(); i += factor) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) s += values_[i + j];
+    out.push_back(s);
+  }
+  return TimeSeries(std::move(out), step_ms_ * static_cast<double>(factor));
+}
+
+TimeSeries TimeSeries::upsample_hold(std::size_t factor) const {
+  FMNET_CHECK_GT(factor, 0u);
+  std::vector<double> out;
+  out.reserve(size() * factor);
+  for (const double v : values_) {
+    for (std::size_t j = 0; j < factor; ++j) out.push_back(v);
+  }
+  return TimeSeries(std::move(out), step_ms_ / static_cast<double>(factor));
+}
+
+TimeSeries TimeSeries::upsample_linear(std::size_t factor) const {
+  FMNET_CHECK_GT(factor, 0u);
+  if (empty()) return TimeSeries({}, step_ms_ / static_cast<double>(factor));
+  std::vector<double> out;
+  out.reserve(size() * factor);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const double a = values_[i];
+    const double b = (i + 1 < size()) ? values_[i + 1] : values_[i];
+    for (std::size_t j = 0; j < factor; ++j) {
+      const double frac =
+          static_cast<double>(j) / static_cast<double>(factor);
+      out.push_back(a + (b - a) * frac);
+    }
+  }
+  return TimeSeries(std::move(out), step_ms_ / static_cast<double>(factor));
+}
+
+double l1_distance(const TimeSeries& a, const TimeSeries& b) {
+  FMNET_CHECK_EQ(a.size(), b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+double normalized_error(const TimeSeries& a, const TimeSeries& b, double eps) {
+  FMNET_CHECK_EQ(a.size(), b.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::abs(a[i] - b[i]);
+    den += std::abs(b[i]);
+  }
+  return num / (den + eps);
+}
+
+}  // namespace fmnet

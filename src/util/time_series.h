@@ -1,0 +1,83 @@
+// TimeSeries: the fundamental data container of FMNet.
+//
+// A TimeSeries is a uniformly-sampled sequence of doubles together with the
+// duration of one step. Fine-grained ground truth, coarse-grained telemetry
+// and imputed outputs are all TimeSeries; the step duration records which.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fmnet {
+
+/// Uniformly-sampled real-valued time series.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Constructs a series of `size` zeros with the given step duration
+  /// (milliseconds per step).
+  TimeSeries(std::size_t size, double step_ms);
+
+  /// Wraps existing values.
+  TimeSeries(std::vector<double> values, double step_ms);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double step_ms() const { return step_ms_; }
+  double duration_ms() const { return step_ms_ * static_cast<double>(size()); }
+
+  double& operator[](std::size_t i) { return values_[i]; }
+  double operator[](std::size_t i) const { return values_[i]; }
+
+  /// Bounds-checked access.
+  double at(std::size_t i) const;
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Maximum value; requires non-empty.
+  double max() const;
+  /// Minimum value; requires non-empty.
+  double min() const;
+  /// Arithmetic mean; requires non-empty.
+  double mean() const;
+  /// Sum of all values.
+  double sum() const;
+
+  /// Extracts the half-open slice [begin, end).
+  TimeSeries slice(std::size_t begin, std::size_t end) const;
+
+  /// Downsamples by taking the value at every `factor`-th step (periodic
+  /// instantaneous sampling, as a monitoring tool would).
+  TimeSeries downsample_instant(std::size_t factor) const;
+
+  /// Downsamples by taking the max over each window of `factor` steps
+  /// (LANZ-style). The series length must be divisible by factor.
+  TimeSeries downsample_max(std::size_t factor) const;
+
+  /// Downsamples by summing each window of `factor` steps (counter-style).
+  TimeSeries downsample_sum(std::size_t factor) const;
+
+  /// Upsamples by repeating each value `factor` times (nearest/hold).
+  TimeSeries upsample_hold(std::size_t factor) const;
+
+  /// Upsamples with linear interpolation between consecutive points.
+  TimeSeries upsample_linear(std::size_t factor) const;
+
+  bool operator==(const TimeSeries& other) const = default;
+
+ private:
+  std::vector<double> values_;
+  double step_ms_ = 1.0;
+};
+
+/// L1 distance between equally-sized series.
+double l1_distance(const TimeSeries& a, const TimeSeries& b);
+
+/// Normalised error: ||a - b||_1 / (||b||_1 + eps). `b` is the reference.
+double normalized_error(const TimeSeries& a, const TimeSeries& b,
+                        double eps = 1e-9);
+
+}  // namespace fmnet

@@ -1,0 +1,331 @@
+// Cross-cutting property tests: invariants that must hold across randomized
+// inputs and parameter sweeps, spanning several modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impute/cem.h"
+#include "impute/fm_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "smt/model.h"
+#include "smt/solver.h"
+#include "switchsim/switch.h"
+#include "tasks/metrics.h"
+#include "tensor/broadcast.h"
+#include "tensor/ops.h"
+#include "traffic/sources.h"
+#include "util/rng.h"
+
+namespace fmnet {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Tensor broadcasting: sweep shape pairs and verify against a reference.
+// ---------------------------------------------------------------------------
+
+struct BroadcastCase {
+  Shape a;
+  Shape b;
+};
+
+class BroadcastSweep : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastSweep, AddMatchesReferenceAndGradSums) {
+  const auto& param = GetParam();
+  Rng rng(99);
+  Tensor a = Tensor::randn(param.a, rng, 1.0f, true);
+  Tensor b = Tensor::randn(param.b, rng, 1.0f, true);
+  const Tensor c = a + b;
+  const Shape expect =
+      tensor::detail::broadcast_shape(param.a, param.b);
+  ASSERT_EQ(c.shape(), expect);
+
+  // Reference: explicit index arithmetic.
+  const auto sa = tensor::detail::aligned_strides(param.a, expect);
+  const auto sb = tensor::detail::aligned_strides(param.b, expect);
+  std::size_t n = 0;
+  tensor::detail::for_each_bcast2(
+      expect, sa, sb, [&](std::int64_t lin, std::int64_t ia, std::int64_t ib) {
+        ASSERT_FLOAT_EQ(c.data()[lin], a.data()[ia] + b.data()[ib]);
+        ++n;
+      });
+  ASSERT_EQ(static_cast<std::int64_t>(n), c.numel());
+
+  // Gradient mass conservation: d(sum)/da sums to numel of output per
+  // broadcast fan-out; total grad mass of a equals output numel.
+  Tensor loss = tensor::sum(c);
+  loss.backward();
+  double ga = 0.0;
+  for (const float g : a.grad()) ga += g;
+  EXPECT_NEAR(ga, static_cast<double>(c.numel()), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastSweep,
+    ::testing::Values(BroadcastCase{{3}, {3}}, BroadcastCase{{2, 3}, {3}},
+                      BroadcastCase{{2, 3}, {1, 3}},
+                      BroadcastCase{{2, 1}, {1, 3}},
+                      BroadcastCase{{4, 1, 3}, {2, 3}},
+                      BroadcastCase{{2, 2, 2}, {}},
+                      BroadcastCase{{1}, {5}},
+                      BroadcastCase{{2, 3, 4}, {2, 3, 4}}));
+
+// ---------------------------------------------------------------------------
+// Attention is permutation-equivariant (no mask, positions added outside).
+// ---------------------------------------------------------------------------
+
+TEST(AttentionProperty, PermutationEquivariant) {
+  Rng rng(7);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  Rng data_rng(8);
+  Tensor x = Tensor::randn({1, 5, 8}, data_rng);
+  const Tensor y = attn.forward(x);
+
+  // Swap tokens 1 and 3 in the input; outputs must swap accordingly.
+  Tensor xs = Tensor::zeros({1, 5, 8});
+  for (int t = 0; t < 5; ++t) {
+    const int src = t == 1 ? 3 : (t == 3 ? 1 : t);
+    for (int d = 0; d < 8; ++d) {
+      xs.data()[t * 8 + d] = x.data()[src * 8 + d];
+    }
+  }
+  const Tensor ys = attn.forward(xs);
+  for (int t = 0; t < 5; ++t) {
+    const int src = t == 1 ? 3 : (t == 3 ? 1 : t);
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_NEAR(ys.data()[t * 8 + d], y.data()[src * 8 + d], 1e-4);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EMD loss metric-ish properties.
+// ---------------------------------------------------------------------------
+
+TEST(EmdProperty, SymmetricAndNonNegative) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tensor a = Tensor::randn({1, 16}, rng);
+    const Tensor b = Tensor::randn({1, 16}, rng);
+    const float ab = nn::emd_loss(a, b).item();
+    const float ba = nn::emd_loss(b, a).item();
+    EXPECT_GE(ab, 0.0f);
+    EXPECT_NEAR(ab, ba, 1e-5);
+  }
+}
+
+TEST(EmdProperty, TriangleInequalityOnRandomSeries) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tensor a = Tensor::randn({1, 12}, rng);
+    const Tensor b = Tensor::randn({1, 12}, rng);
+    const Tensor c = Tensor::randn({1, 12}, rng);
+    const float ab = nn::emd_loss(a, b).item();
+    const float bc = nn::emd_loss(b, c).item();
+    const float ac = nn::emd_loss(a, c).item();
+    EXPECT_LE(ac, ab + bc + 1e-4f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Switch: dynamic-threshold sweep — stationary single-queue occupancy obeys
+// the DT fixed point len* ~ alpha/(1+alpha) * B.
+// ---------------------------------------------------------------------------
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, SingleQueueDtFixedPoint) {
+  const double alpha = GetParam();
+  switchsim::SwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.queues_per_port = 2;
+  cfg.buffer_size = 120;
+  cfg.alpha = {alpha, alpha};
+  cfg.slots_per_ms = 10;
+  switchsim::OutputQueuedSwitch sw(cfg);
+  // Saturate one queue.
+  for (int s = 0; s < 2000; ++s) sw.step({{0, 0}, {0, 0}, {0, 0}});
+  const double expected =
+      alpha / (1.0 + alpha) * static_cast<double>(cfg.buffer_size);
+  EXPECT_NEAR(static_cast<double>(sw.queue_len(0, 0)), expected,
+              expected * 0.1 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+// ---------------------------------------------------------------------------
+// Workload: offered load stays below aggregate capacity across port counts.
+// ---------------------------------------------------------------------------
+
+class PortsSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(PortsSweep, PaperWorkloadLoadFactorSane) {
+  const std::int32_t ports = GetParam();
+  auto src = traffic::make_paper_workload(ports, 77);
+  std::vector<switchsim::Arrival> out;
+  const std::int64_t slots = 200'000;
+  for (std::int64_t s = 0; s < slots; ++s) src->generate(s, out);
+  const double load = static_cast<double>(out.size()) /
+                      (static_cast<double>(slots) * ports);
+  EXPECT_GT(load, 0.03);
+  EXPECT_LT(load, 0.95);
+  for (const auto& a : out) {
+    ASSERT_GE(a.dst_port, 0);
+    ASSERT_LT(a.dst_port, ports);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ports, PortsSweep, ::testing::Values(2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// CEM: objective monotonicity — tightening the sent budget can only raise
+// the optimal correction cost.
+// ---------------------------------------------------------------------------
+
+TEST(CemProperty, ObjectiveMonotoneInSentBudget) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    impute::CemConstraints c;
+    c.coarse_factor = 8;
+    c.window_max = {5};
+    std::vector<double> imputed(8);
+    for (auto& v : imputed) v = static_cast<double>(rng.uniform_int(0, 6));
+    impute::ConstraintEnforcementModule cem;
+    std::int64_t prev = -1;
+    for (std::int64_t budget = 8; budget >= 0; --budget) {
+      c.port_sent = {budget};
+      const auto r = cem.correct(imputed, c);
+      if (!r.feasible) continue;  // budget 0 with max>0 is infeasible
+      if (prev >= 0) {
+        EXPECT_GE(r.objective, prev)
+            << "trial " << trial << " budget " << budget;
+      }
+      prev = r.objective;
+    }
+  }
+}
+
+TEST(CemProperty, ObjectiveInvariantToFeasiblePerturbationScale) {
+  // Doubling every imputed value scales costs but never breaks
+  // feasibility: the corrected output must still satisfy constraints.
+  Rng rng(19);
+  impute::CemConstraints c;
+  c.coarse_factor = 10;
+  c.window_max = {7};
+  c.port_sent = {5};
+  c.sample_idx = {0};
+  c.sample_val = {2};
+  std::vector<double> imputed(10);
+  for (auto& v : imputed) v = rng.uniform(0.0, 14.0);
+  impute::ConstraintEnforcementModule cem;
+  for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+    std::vector<double> scaled(imputed);
+    for (auto& v : scaled) v *= scale;
+    const auto r = cem.correct(scaled, c);
+    ASSERT_TRUE(r.feasible);
+    nn::ExampleConstraints nc;
+    nc.coarse_factor = 10;
+    nc.window_max = {7.0f};
+    nc.port_sent = {5.0f};
+    nc.sample_idx = {0};
+    nc.sample_val = {2.0f};
+    EXPECT_TRUE(nn::evaluate_constraints(r.corrected, nc).satisfied());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FM model: any SAT imputation reproduces its measurements (checked on the
+// extracted queue series), across random instances.
+// ---------------------------------------------------------------------------
+
+class FmRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FmRoundTrip, SolutionReproducesMeasurements) {
+  impute::FmSwitchModelConfig cfg;
+  cfg.num_queues = 2;
+  cfg.buffer_size = 8;
+  cfg.max_ingress_per_slot = 2;
+  cfg.slots_per_interval = 4;
+  impute::FmSwitchModel model(cfg);
+  Rng rng(GetParam());
+  std::vector<std::vector<std::int64_t>> arrivals(
+      2, std::vector<std::int64_t>(8));
+  for (auto& qa : arrivals) {
+    for (auto& a : qa) a = rng.uniform_int(0, 2);
+  }
+  const auto m = model.measure(arrivals);
+  smt::Budget budget;
+  budget.max_seconds = 20.0;
+  const auto r = model.impute(m, budget);
+  ASSERT_EQ(r.status, smt::Status::kSat) << "seed " << GetParam();
+  for (std::int32_t q = 0; q < 2; ++q) {
+    for (std::size_t k = 0; k < m.num_intervals(); ++k) {
+      std::int64_t mx = 0;
+      for (std::size_t t = k * 4; t < (k + 1) * 4; ++t) {
+        mx = std::max(mx, r.queue_len[q][t]);
+      }
+      ASSERT_EQ(mx, m.queue_max[q][k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmRoundTrip,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------------------------------------------------------------------
+// Metrics: identity imputation scores zero at every threshold.
+// ---------------------------------------------------------------------------
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, IdentityScoresZero) {
+  Rng rng(23);
+  std::vector<double> series(200);
+  for (auto& v : series) {
+    v = rng.bernoulli(0.2) ? rng.uniform(0.0, 50.0) : 0.0;
+  }
+  const auto m = tasks::burst_metrics(series, series, GetParam());
+  EXPECT_EQ(m.detection_error, 0.0);
+  EXPECT_EQ(m.height_error, 0.0);
+  EXPECT_EQ(m.frequency_error, 0.0);
+  EXPECT_EQ(m.interarrival_error, 0.0);
+  EXPECT_EQ(m.empty_freq_error, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(1.0, 5.0, 20.0, 45.0));
+
+// ---------------------------------------------------------------------------
+// smtlite: add_max agrees with brute force on random instances.
+// ---------------------------------------------------------------------------
+
+TEST(SmtProperty, AddMaxMatchesBruteForce) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    smt::Model m;
+    std::vector<smt::VarId> vars;
+    std::vector<std::int64_t> fixed;
+    for (int v = 0; v < 4; ++v) {
+      const std::int64_t value = rng.uniform_int(0, 5);
+      fixed.push_back(value);
+      vars.push_back(m.new_int(0, 5));
+      m.add_linear(smt::LinExpr(vars.back()), smt::Cmp::kEq, value);
+    }
+    const smt::VarId mx = m.add_max(vars);
+    smt::Solver s(m);
+    const auto r = s.solve();
+    ASSERT_EQ(r.status, smt::Status::kSat);
+    EXPECT_EQ(r.value(mx),
+              *std::max_element(fixed.begin(), fixed.end()))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fmnet

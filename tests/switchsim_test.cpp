@@ -1,0 +1,299 @@
+// Tests for the output-queued shared-buffer switch simulator: admission,
+// dynamic thresholds, scheduling disciplines, counters, conservation
+// invariants, and the ground-truth recorder.
+#include <gtest/gtest.h>
+
+#include "switchsim/recorder.h"
+#include "switchsim/switch.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fmnet::switchsim {
+namespace {
+
+SwitchConfig small_config() {
+  SwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.queues_per_port = 2;
+  cfg.buffer_size = 10;
+  cfg.alpha = {1.0, 1.0};
+  cfg.slots_per_ms = 4;
+  return cfg;
+}
+
+TEST(Switch, EnqueueDequeueSinglepacket) {
+  OutputQueuedSwitch sw(small_config());
+  sw.step({{0, 0}});
+  // Arrived then immediately transmitted in the same slot.
+  EXPECT_EQ(sw.queue_len(0, 0), 0);
+  EXPECT_EQ(sw.total_received(0), 1);
+  EXPECT_EQ(sw.total_sent(0), 1);
+  EXPECT_EQ(sw.total_dropped(0), 0);
+  EXPECT_EQ(sw.buffer_occupancy(), 0);
+}
+
+TEST(Switch, QueueBuildsUnderFanIn) {
+  OutputQueuedSwitch sw(small_config());
+  // 3 packets per slot to port 0, service rate 1/slot. The queue grows by
+  // +2 per slot until the dynamic threshold (alpha=1, B=10) caps it:
+  // slot 3 admits only one packet (len 5 >= thr 5 drops the rest).
+  for (int s = 0; s < 3; ++s) sw.step({{0, 0}, {0, 0}, {0, 0}});
+  EXPECT_EQ(sw.queue_len(0, 0), 4);
+  EXPECT_EQ(sw.total_sent(0), 3);
+  EXPECT_EQ(sw.total_dropped(0), 2);
+}
+
+TEST(Switch, WorkConservingDrainsBacklog) {
+  OutputQueuedSwitch sw(small_config());
+  sw.step({{0, 0}, {0, 0}, {0, 0}, {0, 0}});  // len 3 after service
+  EXPECT_EQ(sw.queue_len(0, 0), 3);
+  for (int s = 0; s < 3; ++s) sw.step({});
+  EXPECT_EQ(sw.queue_len(0, 0), 0);
+  EXPECT_EQ(sw.total_sent(0), 4);
+}
+
+TEST(Switch, BufferFullDrops) {
+  SwitchConfig cfg = small_config();
+  cfg.buffer_size = 5;
+  cfg.alpha = {10.0, 10.0};  // thresholds never binding
+  OutputQueuedSwitch sw(cfg);
+  std::vector<Arrival> burst(9, Arrival{0, 0});
+  sw.step(burst);
+  // Admission capped by buffer: at most 5 in, then 1 sent.
+  EXPECT_EQ(sw.total_dropped(0), 4);
+  EXPECT_EQ(sw.queue_len(0, 0), 4);
+  EXPECT_EQ(sw.buffer_occupancy(), 4);
+}
+
+TEST(Switch, DynamicThresholdLimitsSingleQueue) {
+  // alpha=1: a queue may use at most half the buffer when alone
+  // (len < alpha*(B - occ) stops when len = alpha*(B - len)).
+  SwitchConfig cfg = small_config();
+  cfg.buffer_size = 10;
+  cfg.alpha = {1.0, 1.0};
+  OutputQueuedSwitch sw(cfg);
+  std::vector<Arrival> burst(10, Arrival{0, 1});
+  sw.step(burst);
+  // Admitted until len >= 1.0*(10-len) -> len 5; then 1 transmitted.
+  EXPECT_EQ(sw.queue_len(0, 1), 4);
+  EXPECT_EQ(sw.total_dropped(0), 5);
+}
+
+TEST(Switch, SharedBufferCouplesQueues) {
+  // A long queue on port 1 lowers the threshold seen by port 0 — the
+  // paper's "a longer queue prevents other queues from growing" insight.
+  SwitchConfig cfg = small_config();
+  cfg.buffer_size = 12;
+  cfg.alpha = {1.0, 1.0};
+  OutputQueuedSwitch sw(cfg);
+  // Fill port 1 class 0 to its DT limit.
+  std::vector<Arrival> big(12, Arrival{1, 0});
+  sw.step(big);
+  const std::int64_t other = sw.queue_len(1, 0);
+  EXPECT_GT(other, 0);
+  const double thr_now = sw.threshold(0);
+  // Now port 0 admissions are limited by the reduced free buffer.
+  std::vector<Arrival> second(12, Arrival{0, 0});
+  sw.step(second);
+  EXPECT_LE(static_cast<double>(sw.queue_len(0, 0)), thr_now + 1.0);
+  EXPECT_LT(sw.queue_len(0, 0), 5);  // far below the uncontended limit
+}
+
+TEST(Switch, RoundRobinAlternatesBetweenQueues) {
+  SwitchConfig cfg = small_config();
+  cfg.scheduler = SchedulerType::kRoundRobin;
+  cfg.buffer_size = 100;
+  cfg.alpha = {10.0, 10.0};
+  OutputQueuedSwitch sw(cfg);
+  // Load both queues of port 0, then drain with no arrivals.
+  std::vector<Arrival> load;
+  for (int i = 0; i < 4; ++i) load.push_back({0, 0});
+  for (int i = 0; i < 4; ++i) load.push_back({0, 1});
+  sw.step(load);
+  // After first slot one packet (class 0 first) is gone.
+  const std::int64_t l0 = sw.queue_len(0, 0);
+  const std::int64_t l1 = sw.queue_len(0, 1);
+  EXPECT_EQ(l0 + l1, 7);
+  sw.step({});
+  sw.step({});
+  // Two more slots of round robin: queues drained evenly (diff <= 1).
+  EXPECT_LE(std::abs(sw.queue_len(0, 0) - sw.queue_len(0, 1)), 1);
+}
+
+TEST(Switch, StrictPriorityServesClass0First) {
+  SwitchConfig cfg = small_config();
+  cfg.scheduler = SchedulerType::kStrictPriority;
+  cfg.buffer_size = 100;
+  cfg.alpha = {10.0, 10.0};
+  OutputQueuedSwitch sw(cfg);
+  std::vector<Arrival> load;
+  for (int i = 0; i < 3; ++i) load.push_back({0, 0});
+  for (int i = 0; i < 3; ++i) load.push_back({0, 1});
+  sw.step(load);
+  sw.step({});
+  sw.step({});
+  // Three slots of service all went to class 0.
+  EXPECT_EQ(sw.queue_len(0, 0), 0);
+  EXPECT_EQ(sw.queue_len(0, 1), 3);
+}
+
+TEST(Switch, WeightedRoundRobinHonoursWeights) {
+  SwitchConfig cfg = small_config();
+  cfg.scheduler = SchedulerType::kWeightedRoundRobin;
+  cfg.wrr_weights = {3, 1};
+  cfg.buffer_size = 400;
+  cfg.alpha = {10.0, 10.0};
+  OutputQueuedSwitch sw(cfg);
+  // Keep both queues of port 0 persistently backlogged.
+  std::vector<Arrival> seed;
+  for (int i = 0; i < 80; ++i) seed.push_back({0, i % 2});
+  sw.step(seed);
+  const std::int64_t l0_before = sw.queue_len(0, 0);
+  const std::int64_t l1_before = sw.queue_len(0, 1);
+  for (int s = 0; s < 40; ++s) sw.step({});
+  const std::int64_t served0 = l0_before - sw.queue_len(0, 0);
+  const std::int64_t served1 = l1_before - sw.queue_len(0, 1);
+  EXPECT_EQ(served0 + served1, 40);
+  // 3:1 quantum split (allow +-2 for the turn boundary).
+  EXPECT_NEAR(static_cast<double>(served0), 30.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(served1), 10.0, 2.0);
+}
+
+TEST(Switch, WeightedRoundRobinIsWorkConserving) {
+  SwitchConfig cfg = small_config();
+  cfg.scheduler = SchedulerType::kWeightedRoundRobin;
+  cfg.wrr_weights = {3, 1};
+  cfg.buffer_size = 100;
+  cfg.alpha = {10.0, 10.0};
+  OutputQueuedSwitch sw(cfg);
+  // Only class 1 backlogged: it must still be served every slot even when
+  // class 0's (larger) quantum is nominally "up".
+  std::vector<Arrival> seed(10, Arrival{0, 1});
+  sw.step(seed);
+  for (int s = 0; s < 8; ++s) sw.step({});
+  EXPECT_EQ(sw.queue_len(0, 1), 1);  // 10 in, 9 slots of service
+}
+
+TEST(Switch, WrrRejectsBadWeights) {
+  SwitchConfig cfg = small_config();
+  cfg.scheduler = SchedulerType::kWeightedRoundRobin;
+  cfg.wrr_weights = {1};  // wrong arity
+  EXPECT_THROW(OutputQueuedSwitch{cfg}, CheckError);
+  cfg.wrr_weights = {0, 1};  // non-positive
+  EXPECT_THROW(OutputQueuedSwitch{cfg}, CheckError);
+}
+
+TEST(Switch, OccupancyMatchesSumOfQueues) {
+  fmnet::Rng rng(5);
+  SwitchConfig cfg = small_config();
+  cfg.buffer_size = 30;
+  OutputQueuedSwitch sw(cfg);
+  for (int s = 0; s < 500; ++s) {
+    std::vector<Arrival> arr;
+    const int n = static_cast<int>(rng.uniform_int(0, 5));
+    for (int i = 0; i < n; ++i) {
+      arr.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 1)),
+                     static_cast<std::int32_t>(rng.uniform_int(0, 1))});
+    }
+    sw.step(arr);
+    std::int64_t total = 0;
+    for (std::int32_t q = 0; q < sw.num_queues(); ++q) {
+      total += sw.queue_len_flat(q);
+    }
+    ASSERT_EQ(total, sw.buffer_occupancy());
+    ASSERT_LE(sw.buffer_occupancy(), cfg.buffer_size);
+  }
+}
+
+TEST(Switch, FlowConservationInvariant) {
+  // received = sent + dropped + still queued, per port, at all times.
+  fmnet::Rng rng(6);
+  OutputQueuedSwitch sw(small_config());
+  for (int s = 0; s < 1000; ++s) {
+    std::vector<Arrival> arr;
+    const int n = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < n; ++i) {
+      arr.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 1)),
+                     static_cast<std::int32_t>(rng.uniform_int(0, 1))});
+    }
+    sw.step(arr);
+    for (std::int32_t p = 0; p < 2; ++p) {
+      const std::int64_t queued =
+          sw.queue_len(p, 0) + sw.queue_len(p, 1);
+      ASSERT_EQ(sw.total_received(p),
+                sw.total_sent(p) + sw.total_dropped(p) + queued);
+    }
+  }
+}
+
+TEST(Switch, ThresholdSharpensAsBufferFills) {
+  SwitchConfig cfg = small_config();
+  cfg.buffer_size = 20;
+  OutputQueuedSwitch sw(cfg);
+  const double empty_thr = sw.threshold(0);
+  std::vector<Arrival> load(8, Arrival{0, 0});
+  sw.step(load);
+  EXPECT_LT(sw.threshold(0), empty_thr);
+}
+
+TEST(Switch, RejectsBadConfig) {
+  SwitchConfig cfg = small_config();
+  cfg.alpha = {1.0};  // wrong arity
+  EXPECT_THROW(OutputQueuedSwitch{cfg}, CheckError);
+  cfg = small_config();
+  cfg.buffer_size = 0;
+  EXPECT_THROW(OutputQueuedSwitch{cfg}, CheckError);
+}
+
+TEST(Recorder, BinsPerMillisecond) {
+  SwitchConfig cfg = small_config();  // 4 slots per ms
+  cfg.buffer_size = 100;
+  cfg.alpha = {10.0, 10.0};  // thresholds never binding here
+  OutputQueuedSwitch sw(cfg);
+  GroundTruthRecorder rec(sw);
+  // 2 ms of traffic: 2 packets to port 0 every slot.
+  for (int s = 0; s < 8; ++s) {
+    sw.step({{0, 0}, {0, 0}});
+    rec.on_slot();
+  }
+  const GroundTruth gt = rec.finish();
+  ASSERT_EQ(gt.num_ms(), 2u);
+  // Port 0: 8 received, 8 sent... service 1/slot -> 4 sent per ms.
+  EXPECT_EQ(gt.port_received[0].values(), (std::vector<double>{8, 8}));
+  EXPECT_EQ(gt.port_sent[0].values(), (std::vector<double>{4, 4}));
+  // Queue grows +1 per slot; the fine series carries start-of-ms lengths:
+  // 0 at the start of ms0, 4 at the start of ms1.
+  EXPECT_EQ(gt.queue_len[0].values(), (std::vector<double>{0, 4}));
+  // Max within each ms covers the slot ends: 4 within ms0, 8 within ms1.
+  EXPECT_EQ(gt.queue_len_max[0].values(), (std::vector<double>{4, 8}));
+}
+
+TEST(Recorder, DiscardsPartialTrailingMs) {
+  OutputQueuedSwitch sw(small_config());
+  GroundTruthRecorder rec(sw);
+  for (int s = 0; s < 7; ++s) {  // 1.75 ms
+    sw.step({});
+    rec.on_slot();
+  }
+  EXPECT_EQ(rec.finish().num_ms(), 1u);
+}
+
+TEST(Recorder, MaxSeriesDominatesEndOfMsSeries) {
+  fmnet::Rng rng(7);
+  OutputQueuedSwitch sw(small_config());
+  GroundTruthRecorder rec(sw);
+  for (int s = 0; s < 400; ++s) {
+    std::vector<Arrival> arr;
+    const int n = static_cast<int>(rng.uniform_int(0, 5));
+    for (int i = 0; i < n; ++i) arr.push_back({0, 0});
+    sw.step(arr);
+    rec.on_slot();
+  }
+  const GroundTruth gt = rec.finish();
+  for (std::size_t t = 0; t < gt.num_ms(); ++t) {
+    ASSERT_GE(gt.queue_len_max[0][t], gt.queue_len[0][t]);
+  }
+}
+
+}  // namespace
+}  // namespace fmnet::switchsim

@@ -1,0 +1,204 @@
+// Tests for monitoring-tool semantics and dataset assembly, including the
+// keystone property: ground truth always satisfies constraints C1–C3 under
+// our monitor definitions — which is what makes CEM's constraint system
+// feasible.
+#include <gtest/gtest.h>
+
+#include "nn/kal.h"
+#include "telemetry/dataset.h"
+#include "telemetry/monitors.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace fmnet::telemetry {
+namespace {
+
+switchsim::GroundTruth tiny_ground_truth() {
+  // 4 ms, factor 2, one queue / one port, hand-built.
+  switchsim::GroundTruth gt;
+  gt.slots_per_ms = 4;
+  gt.queue_len = {fmnet::TimeSeries({1, 5, 0, 2}, 1.0)};
+  gt.queue_len_max = {fmnet::TimeSeries({3, 5, 1, 2}, 1.0)};
+  gt.port_sent = {fmnet::TimeSeries({4, 4, 2, 3}, 1.0)};
+  gt.port_dropped = {fmnet::TimeSeries({0, 1, 0, 0}, 1.0)};
+  gt.port_received = {fmnet::TimeSeries({5, 6, 1, 3}, 1.0)};
+  return gt;
+}
+
+TEST(Monitors, SamplingSemantics) {
+  const auto gt = tiny_ground_truth();
+  const CoarseTelemetry ct = sample_telemetry(gt, 2);
+  EXPECT_EQ(ct.num_intervals(), 2u);
+  // Periodic: instantaneous at interval start (fine indices 0 and 2).
+  EXPECT_EQ(ct.periodic_qlen[0].values(), (std::vector<double>{1, 0}));
+  // LANZ: max of the fine end-of-ms series within the interval.
+  EXPECT_EQ(ct.max_qlen[0].values(), (std::vector<double>{5, 2}));
+  // SNMP: sums.
+  EXPECT_EQ(ct.snmp_sent[0].values(), (std::vector<double>{8, 5}));
+  EXPECT_EQ(ct.snmp_dropped[0].values(), (std::vector<double>{1, 0}));
+  EXPECT_EQ(ct.snmp_received[0].values(), (std::vector<double>{11, 4}));
+}
+
+TEST(Monitors, RejectsNonMultipleLength) {
+  const auto gt = tiny_ground_truth();
+  EXPECT_THROW(sample_telemetry(gt, 3), CheckError);
+}
+
+TEST(Monitors, TrimToMultiple) {
+  const auto gt = tiny_ground_truth();
+  const auto trimmed = trim_to_multiple(gt, 3);
+  EXPECT_EQ(trimmed.num_ms(), 3u);
+  EXPECT_EQ(trimmed.queue_len[0].values(), (std::vector<double>{1, 5, 0}));
+}
+
+TEST(Monitors, GroundTruthSatisfiesC1C2OnCampaign) {
+  const auto campaign = fmnet::testing::run_small_campaign(1, 200);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  for (std::size_t q = 0; q < gt.queue_len.size(); ++q) {
+    for (std::size_t w = 0; w < ct.num_intervals(); ++w) {
+      // C1: interval max of fine series equals LANZ report.
+      double wmax = 0;
+      for (std::size_t t = w * 50; t < (w + 1) * 50; ++t) {
+        wmax = std::max(wmax, gt.queue_len[q][t]);
+      }
+      ASSERT_EQ(wmax, ct.max_qlen[q][w]);
+      // C2: periodic sample matches the fine series at interval start.
+      ASSERT_EQ(gt.queue_len[q][w * 50], ct.periodic_qlen[q][w]);
+    }
+  }
+}
+
+TEST(Monitors, GroundTruthSatisfiesC3WorkConservation) {
+  // #non-empty fine steps (any queue of the port, and also per queue) must
+  // not exceed SNMP packets sent in the interval: a non-empty queue at a
+  // step boundary forces >= 1 departure during the next step because the
+  // scheduler is work-conserving and service is >= 1 packet/ms.
+  const auto campaign = fmnet::testing::run_small_campaign(2, 400);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  const std::int32_t qpp = campaign.config.queues_per_port;
+  const auto ports = static_cast<std::size_t>(campaign.config.num_ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    for (std::size_t w = 0; w < ct.num_intervals(); ++w) {
+      std::int64_t ne = 0;
+      for (std::size_t t = w * 50; t < (w + 1) * 50; ++t) {
+        bool nonempty = false;
+        for (std::int32_t c = 0; c < qpp; ++c) {
+          nonempty = nonempty ||
+                     gt.queue_len[p * qpp + static_cast<std::size_t>(c)][t] >
+                         0.0;
+        }
+        ne += nonempty ? 1 : 0;
+      }
+      // Start-of-ms alignment makes this exact: every non-empty step sends
+      // at least one packet within that same step.
+      ASSERT_LE(ne, static_cast<std::int64_t>(ct.snmp_sent[p][w]))
+          << "port " << p << " window " << w;
+    }
+  }
+}
+
+DatasetConfig small_dataset_config() {
+  DatasetConfig cfg;
+  cfg.window_ms = 100;
+  cfg.factor = 50;
+  cfg.qlen_scale = 200.0;
+  cfg.count_scale = 500.0;
+  return cfg;
+}
+
+TEST(Dataset, ShapesAndWindowTiling) {
+  const auto campaign = fmnet::testing::run_small_campaign(3, 400);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  const auto cfg = small_dataset_config();
+  const auto examples =
+      build_examples(gt, ct, cfg, campaign.config.queues_per_port);
+  const std::size_t queues = gt.queue_len.size();
+  EXPECT_EQ(examples.size(), queues * (400 / cfg.window_ms));
+  for (const auto& ex : examples) {
+    ASSERT_EQ(ex.features.size(), cfg.window_ms * kNumInputChannels);
+    ASSERT_EQ(ex.target.size(), cfg.window_ms);
+    ASSERT_EQ(ex.constraints.window_max.size(),
+              cfg.window_ms / cfg.factor);
+    ASSERT_EQ(ex.constraints.sample_idx.size(),
+              cfg.window_ms / cfg.factor);
+    ASSERT_EQ(ex.port, ex.queue / campaign.config.queues_per_port);
+  }
+}
+
+TEST(Dataset, FeaturesMatchTelemetryAndNormalisation) {
+  const auto campaign = fmnet::testing::run_small_campaign(4, 200);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  const auto cfg = small_dataset_config();
+  const auto examples =
+      build_examples(gt, ct, cfg, campaign.config.queues_per_port);
+  for (const auto& ex : examples) {
+    const auto q = static_cast<std::size_t>(ex.queue);
+    const auto p = static_cast<std::size_t>(ex.port);
+    for (std::size_t t = 0; t < cfg.window_ms; t += 17) {
+      const std::size_t interval = (ex.start_ms + t) / cfg.factor;
+      const float* row = ex.features.data() + t * kNumInputChannels;
+      ASSERT_FLOAT_EQ(
+          row[kChannelPeriodicQlen],
+          static_cast<float>(ct.periodic_qlen[q][interval] / cfg.qlen_scale));
+      ASSERT_FLOAT_EQ(
+          row[kChannelMaxQlen],
+          static_cast<float>(ct.max_qlen[q][interval] / cfg.qlen_scale));
+      ASSERT_FLOAT_EQ(
+          row[kChannelPortSent],
+          static_cast<float>(ct.snmp_sent[p][interval] / cfg.count_scale));
+      ASSERT_FLOAT_EQ(row[kChannelPortDropped],
+                      static_cast<float>(ct.snmp_dropped[p][interval] /
+                                         cfg.count_scale));
+      ASSERT_FLOAT_EQ(ex.target[t],
+                      static_cast<float>(gt.queue_len[q][ex.start_ms + t] /
+                                         cfg.qlen_scale));
+    }
+  }
+}
+
+TEST(Dataset, GroundTruthTargetSatisfiesConstraints) {
+  // The normalised target must satisfy the example's own constraint data —
+  // this ties monitors, dataset and KAL semantics together.
+  const auto campaign = fmnet::testing::run_small_campaign(5, 600);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  const auto cfg = small_dataset_config();
+  const auto examples =
+      build_examples(gt, ct, cfg, campaign.config.queues_per_port);
+  for (const auto& ex : examples) {
+    std::vector<double> target(ex.target.begin(), ex.target.end());
+    const auto v = nn::evaluate_constraints(target, ex.constraints);
+    ASSERT_NEAR(v.max_violation, 0.0, 1e-5);
+    ASSERT_NEAR(v.periodic_violation, 0.0, 1e-5);
+    // C3 on a single queue is weaker than the port-level bound, so the
+    // per-queue NE must satisfy the per-port budget too.
+    ASSERT_NEAR(v.sent_violation, 0.0, 1e-5);
+  }
+}
+
+TEST(Dataset, SplitCoversAllAndDisjoint) {
+  const auto campaign = fmnet::testing::run_small_campaign(6, 400);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  const auto cfg = small_dataset_config();
+  auto examples =
+      build_examples(gt, ct, cfg, campaign.config.queues_per_port);
+  const std::size_t total = examples.size();
+  const auto split = split_examples(std::move(examples));
+  EXPECT_EQ(split.train.size() + split.test.size(), total);
+  EXPECT_FALSE(split.train.empty());
+  EXPECT_FALSE(split.test.empty());
+  for (const auto& ex : split.train) {
+    EXPECT_EQ((ex.start_ms / ex.window) % 2, 0u);
+  }
+  for (const auto& ex : split.test) {
+    EXPECT_EQ((ex.start_ms / ex.window) % 2, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace fmnet::telemetry

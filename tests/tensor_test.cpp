@@ -1,0 +1,257 @@
+// Forward-pass semantics tests for the tensor library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fmnet::tensor {
+namespace {
+
+TEST(Tensor, FactoriesAndShape) {
+  const Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.shape(), (Shape{2, 3}));
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.ndim(), 2u);
+  EXPECT_EQ(z.dim(1), 3);
+  for (const float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  const Tensor o = Tensor::ones({4});
+  for (const float v : o.data()) EXPECT_EQ(v, 1.0f);
+
+  const Tensor f = Tensor::full({2}, 3.5f);
+  EXPECT_EQ(f.data()[0], 3.5f);
+
+  const Tensor s = Tensor::scalar(2.0f);
+  EXPECT_EQ(s.ndim(), 0u);
+  EXPECT_EQ(s.item(), 2.0f);
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_THROW(Tensor::from_vector({1.0f, 2.0f}, {3}), CheckError);
+}
+
+TEST(Tensor, AtMultiIndex) {
+  const Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ((t.at({0, 0})), 1.0f);
+  EXPECT_EQ((t.at({1, 2})), 6.0f);
+  EXPECT_THROW((t.at({2, 0})), CheckError);
+}
+
+TEST(Tensor, RandnStats) {
+  fmnet::Rng rng(3);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  double s = 0.0;
+  double s2 = 0.0;
+  for (const float v : t.data()) {
+    s += v;
+    s2 += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(s / 10000.0, 0.0, 0.1);
+  EXPECT_NEAR(s2 / 10000.0, 4.0, 0.3);
+}
+
+TEST(Ops, AddSameShape) {
+  const Tensor a = Tensor::from_vector({1, 2}, {2});
+  const Tensor b = Tensor::from_vector({10, 20}, {2});
+  const Tensor c = a + b;
+  EXPECT_EQ(c.data(), (std::vector<float>{11, 22}));
+}
+
+TEST(Ops, BroadcastRowOverMatrix) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  const Tensor b = Tensor::from_vector({10, 20, 30}, {3});
+  const Tensor c = a + b;
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_EQ(c.data(), (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(Ops, BroadcastColumnViaKeepdim) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  const Tensor col = Tensor::from_vector({100, 200}, {2, 1});
+  const Tensor c = a + col;
+  EXPECT_EQ(c.data(), (std::vector<float>{101, 102, 103, 204, 205, 206}));
+}
+
+TEST(Ops, BroadcastScalar) {
+  const Tensor a = Tensor::from_vector({1, 2}, {2});
+  const Tensor s = Tensor::scalar(5.0f);
+  EXPECT_EQ((a * s).data(), (std::vector<float>{5, 10}));
+}
+
+TEST(Ops, IncompatibleBroadcastThrows) {
+  const Tensor a = Tensor::zeros({2, 3});
+  const Tensor b = Tensor::zeros({2, 4});
+  EXPECT_THROW(a + b, CheckError);
+}
+
+TEST(Ops, SubMulDiv) {
+  const Tensor a = Tensor::from_vector({6, 8}, {2});
+  const Tensor b = Tensor::from_vector({2, 4}, {2});
+  EXPECT_EQ((a - b).data(), (std::vector<float>{4, 4}));
+  EXPECT_EQ((a * b).data(), (std::vector<float>{12, 32}));
+  EXPECT_EQ((a / b).data(), (std::vector<float>{3, 2}));
+}
+
+TEST(Ops, ScalarHelpers) {
+  const Tensor a = Tensor::from_vector({1, -2}, {2});
+  EXPECT_EQ(add_scalar(a, 1.0f).data(), (std::vector<float>{2, -1}));
+  EXPECT_EQ(mul_scalar(a, -3.0f).data(), (std::vector<float>{-3, 6}));
+  EXPECT_EQ(neg(a).data(), (std::vector<float>{-1, 2}));
+}
+
+TEST(Ops, UnaryMath) {
+  const Tensor a = Tensor::from_vector({0.0f, 1.0f, -1.0f}, {3});
+  EXPECT_NEAR(exp(a).data()[1], std::exp(1.0f), 1e-6);
+  EXPECT_NEAR(tanh(a).data()[2], std::tanh(-1.0f), 1e-6);
+  EXPECT_EQ(relu(a).data(), (std::vector<float>{0, 1, 0}));
+  EXPECT_EQ(abs(a).data(), (std::vector<float>{0, 1, 1}));
+  EXPECT_EQ(square(a).data(), (std::vector<float>{0, 1, 1}));
+  EXPECT_NEAR(sigmoid(a).data()[0], 0.5f, 1e-6);
+}
+
+TEST(Ops, GeluMatchesReference) {
+  const Tensor a = Tensor::from_vector({1.0f}, {1});
+  // Reference value of the tanh-approximation GELU at 1.0.
+  EXPECT_NEAR(gelu(a).data()[0], 0.841192f, 1e-4);
+}
+
+TEST(Matmul, TwoByTwo) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  const Tensor b = Tensor::from_vector({5, 6, 7, 8}, {2, 2});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.data(), (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(Matmul, RectangularShapes) {
+  const Tensor a = Tensor::ones({2, 3});
+  const Tensor b = Tensor::ones({3, 4});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 4}));
+  for (const float v : c.data()) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(Matmul, BatchedLhsSharedRhs) {
+  const Tensor a = Tensor::from_vector({1, 0, 0, 1, 2, 0, 0, 2}, {2, 2, 2});
+  const Tensor b = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(c.data(), (std::vector<float>{1, 2, 3, 4, 2, 4, 6, 8}));
+}
+
+TEST(Matmul, FullyBatched) {
+  const Tensor a = Tensor::ones({2, 1, 3});
+  const Tensor b = Tensor::ones({2, 3, 2});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 1, 2}));
+  for (const float v : c.data()) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::ones({2, 3}), Tensor::ones({4, 2})),
+               CheckError);
+}
+
+TEST(Reduce, SumMeanAll) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  EXPECT_EQ(sum(a).item(), 10.0f);
+  EXPECT_EQ(mean(a).item(), 2.5f);
+}
+
+TEST(Reduce, SumAxis) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(sum(a, 0, false).data(), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ(sum(a, 1, false).data(), (std::vector<float>{6, 15}));
+  EXPECT_EQ(sum(a, 1, true).shape(), (Shape{2, 1}));
+}
+
+TEST(Reduce, MaxAxisAndAll) {
+  const Tensor a = Tensor::from_vector({1, 9, 3, 7, 5, 6}, {2, 3});
+  EXPECT_EQ(max(a, 1, false).data(), (std::vector<float>{9, 7}));
+  EXPECT_EQ(max(a, 0, false).data(), (std::vector<float>{7, 9, 6}));
+  EXPECT_EQ(max_all(a).item(), 9.0f);
+}
+
+TEST(Reduce, SoftmaxRowsSumToOne) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 1000, 1001, 1002}, {2, 3});
+  const Tensor s = softmax(a, 1);
+  for (int r = 0; r < 2; ++r) {
+    float acc = 0.0f;
+    for (int c = 0; c < 3; ++c) acc += s.at({r, c});
+    EXPECT_NEAR(acc, 1.0f, 1e-5);
+  }
+  // Large inputs must not overflow (numerical stability).
+  EXPECT_FALSE(std::isnan(s.data()[3]));
+  // Both rows have identical relative offsets so identical softmax.
+  EXPECT_NEAR(s.at({0, 0}), s.at({1, 0}), 1e-6);
+}
+
+TEST(Reduce, Cumsum) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4}, {4});
+  EXPECT_EQ(cumsum(a, 0).data(), (std::vector<float>{1, 3, 6, 10}));
+  const Tensor m = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  EXPECT_EQ(cumsum(m, 0).data(), (std::vector<float>{1, 2, 4, 6}));
+}
+
+TEST(ShapeOps, Reshape) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  const Tensor r = reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r.data(), a.data());
+  EXPECT_THROW(reshape(a, {4, 2}), CheckError);
+}
+
+TEST(ShapeOps, Transpose2D) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  const Tensor t = transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.data(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(ShapeOps, Transpose3DMiddle) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6, 7, 8}, {2, 2, 2});
+  const Tensor t = transpose(a, 1, 2);
+  EXPECT_EQ(t.data(), (std::vector<float>{1, 3, 2, 4, 5, 7, 6, 8}));
+}
+
+TEST(ShapeOps, Slice) {
+  const Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  const Tensor s = slice(a, 1, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.data(), (std::vector<float>{2, 3, 5, 6}));
+  const Tensor rows = slice(a, 0, 1, 2);
+  EXPECT_EQ(rows.data(), (std::vector<float>{4, 5, 6}));
+  EXPECT_THROW(slice(a, 1, 2, 4), CheckError);
+}
+
+TEST(ShapeOps, Cat) {
+  const Tensor a = Tensor::from_vector({1, 2}, {1, 2});
+  const Tensor b = Tensor::from_vector({3, 4, 5, 6}, {2, 2});
+  const Tensor c = cat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c.data(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+
+  const Tensor d = cat({Tensor::from_vector({1, 2}, {2, 1}),
+                        Tensor::from_vector({3, 4}, {2, 1})},
+                       1);
+  EXPECT_EQ(d.data(), (std::vector<float>{1, 3, 2, 4}));
+}
+
+TEST(ShapeOps, CatShapeMismatchThrows) {
+  EXPECT_THROW(cat({Tensor::ones({2, 2}), Tensor::ones({2, 3})}, 0),
+               CheckError);
+}
+
+TEST(Tensor, DetachDropsGraph) {
+  const Tensor a = Tensor::ones({2}, /*requires_grad=*/true);
+  const Tensor b = mul_scalar(a, 2.0f);
+  const Tensor d = b.detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data(), b.data());
+}
+
+}  // namespace
+}  // namespace fmnet::tensor

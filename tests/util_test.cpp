@@ -1,0 +1,254 @@
+// Unit tests for src/util: RNG determinism & distributions, TimeSeries
+// resampling semantics, stats helpers, table/CSV formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/time_series.h"
+
+namespace fmnet {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(FMNET_CHECK(false, "boom"), CheckError);
+  try {
+    FMNET_CHECK_EQ(1, 2);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("lhs=1"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(2.0);
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(acc / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(13);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(acc / n, 200.0, 1.0);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 10.0, 1000.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(Rng, DiscretePicksByWeight) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.discrete({1.0, 0.0, 3.0})];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double s = 0.0;
+  double s2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(1.0, 2.0);
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 1.0, 0.02);
+  EXPECT_NEAR(s2 / n - (s / n) * (s / n), 4.0, 0.1);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(99);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(TimeSeries, DownsampleInstantTakesFirstOfWindow) {
+  TimeSeries ts({1, 2, 3, 4, 5, 6}, 1.0);
+  const TimeSeries ds = ts.downsample_instant(3);
+  EXPECT_EQ(ds.values(), (std::vector<double>{1, 4}));
+  EXPECT_DOUBLE_EQ(ds.step_ms(), 3.0);
+}
+
+TEST(TimeSeries, DownsampleMaxTakesWindowMax) {
+  TimeSeries ts({1, 9, 3, 4, 2, 6}, 1.0);
+  EXPECT_EQ(ts.downsample_max(3).values(), (std::vector<double>{9, 6}));
+}
+
+TEST(TimeSeries, DownsampleSumAddsWindow) {
+  TimeSeries ts({1, 2, 3, 4, 5, 6}, 1.0);
+  EXPECT_EQ(ts.downsample_sum(2).values(), (std::vector<double>{3, 7, 11}));
+}
+
+TEST(TimeSeries, UpsampleHoldRepeats) {
+  TimeSeries ts({1, 2}, 2.0);
+  EXPECT_EQ(ts.upsample_hold(2).values(), (std::vector<double>{1, 1, 2, 2}));
+  EXPECT_DOUBLE_EQ(ts.upsample_hold(2).step_ms(), 1.0);
+}
+
+TEST(TimeSeries, UpsampleLinearInterpolates) {
+  TimeSeries ts({0, 2}, 2.0);
+  EXPECT_EQ(ts.upsample_linear(2).values(),
+            (std::vector<double>{0, 1, 2, 2}));
+}
+
+TEST(TimeSeries, RoundTripInstantSampling) {
+  TimeSeries fine({5, 1, 2, 8, 0, 3, 4, 4}, 1.0);
+  const TimeSeries coarse = fine.downsample_instant(4);
+  EXPECT_DOUBLE_EQ(coarse[0], fine[0]);
+  EXPECT_DOUBLE_EQ(coarse[1], fine[4]);
+}
+
+TEST(TimeSeries, SliceAndStats) {
+  TimeSeries ts({4, 7, 1, 3}, 1.0);
+  EXPECT_EQ(ts.slice(1, 3).values(), (std::vector<double>{7, 1}));
+  EXPECT_DOUBLE_EQ(ts.max(), 7);
+  EXPECT_DOUBLE_EQ(ts.min(), 1);
+  EXPECT_DOUBLE_EQ(ts.sum(), 15);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.75);
+}
+
+TEST(TimeSeries, DownsampleRejectsIndivisibleLength) {
+  TimeSeries ts({1, 2, 3}, 1.0);
+  EXPECT_THROW(ts.downsample_max(2), CheckError);
+}
+
+TEST(TimeSeries, NormalizedError) {
+  TimeSeries a({1, 2, 3}, 1.0);
+  TimeSeries b({1, 2, 4}, 1.0);
+  EXPECT_NEAR(normalized_error(a, b), 1.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 1.0);
+}
+
+TEST(Stats, MeanStddevPercentile) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Stats, PearsonPerfectAndZero) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{2, 4, 6};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(a, c), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", Table::fmt(1.5, 2)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/fmnet_csv_test.csv";
+  write_csv(path, {"t", "q"}, {{0, 1}, {5, 6}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,q");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsRaggedColumns) {
+  EXPECT_THROW(write_csv("/tmp/x.csv", {"a", "b"}, {{1.0}, {1.0, 2.0}}),
+               CheckError);
+}
+
+TEST(StringUtil, SplitJoin) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 1000.0);
+}
+
+}  // namespace
+}  // namespace fmnet
