@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kal.dir/ablation_kal.cpp.o"
+  "CMakeFiles/ablation_kal.dir/ablation_kal.cpp.o.d"
+  "ablation_kal"
+  "ablation_kal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cem_runtime.dir/cem_runtime.cpp.o"
+  "CMakeFiles/cem_runtime.dir/cem_runtime.cpp.o.d"
+  "cem_runtime"
+  "cem_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cem_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sampling_hides_insight.dir/fig1_sampling_hides_insight.cpp.o"
+  "CMakeFiles/fig1_sampling_hides_insight.dir/fig1_sampling_hides_insight.cpp.o.d"
+  "fig1_sampling_hides_insight"
+  "fig1_sampling_hides_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sampling_hides_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_incident_gallery.dir/fig4_incident_gallery.cpp.o"
+  "CMakeFiles/fig4_incident_gallery.dir/fig4_incident_gallery.cpp.o.d"
+  "fig4_incident_gallery"
+  "fig4_incident_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_incident_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_alone_scalability.dir/fm_alone_scalability.cpp.o"
+  "CMakeFiles/fm_alone_scalability.dir/fm_alone_scalability.cpp.o.d"
+  "fm_alone_scalability"
+  "fm_alone_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_alone_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_sweep.dir/granularity_sweep.cpp.o"
+  "CMakeFiles/granularity_sweep.dir/granularity_sweep.cpp.o.d"
+  "granularity_sweep"
+  "granularity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

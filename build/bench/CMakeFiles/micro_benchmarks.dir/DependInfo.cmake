@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fmnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/impute/CMakeFiles/fmnet_impute.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/fmnet_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/fmnet_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/fmnet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/fmnet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fmnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fmnet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/fmnet_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_latency.dir/streaming_latency.cpp.o"
+  "CMakeFiles/streaming_latency.dir/streaming_latency.cpp.o.d"
+  "streaming_latency"
+  "streaming_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

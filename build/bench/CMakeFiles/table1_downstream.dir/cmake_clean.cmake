@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_downstream.dir/table1_downstream.cpp.o"
+  "CMakeFiles/table1_downstream.dir/table1_downstream.cpp.o.d"
+  "table1_downstream"
+  "table1_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

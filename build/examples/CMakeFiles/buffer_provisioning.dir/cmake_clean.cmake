@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_provisioning.dir/buffer_provisioning.cpp.o"
+  "CMakeFiles/buffer_provisioning.dir/buffer_provisioning.cpp.o.d"
+  "buffer_provisioning"
+  "buffer_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

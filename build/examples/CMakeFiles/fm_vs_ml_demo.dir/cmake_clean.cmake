@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_vs_ml_demo.dir/fm_vs_ml_demo.cpp.o"
+  "CMakeFiles/fm_vs_ml_demo.dir/fm_vs_ml_demo.cpp.o.d"
+  "fm_vs_ml_demo"
+  "fm_vs_ml_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_vs_ml_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

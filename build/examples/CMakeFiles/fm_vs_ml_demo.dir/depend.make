@@ -1,0 +1,2 @@
+# Empty dependencies file for fm_vs_ml_demo.
+# This may be replaced when dependencies are built.

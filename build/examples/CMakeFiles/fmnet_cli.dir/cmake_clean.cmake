@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_cli.dir/fmnet_cli.cpp.o"
+  "CMakeFiles/fmnet_cli.dir/fmnet_cli.cpp.o.d"
+  "fmnet_cli"
+  "fmnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

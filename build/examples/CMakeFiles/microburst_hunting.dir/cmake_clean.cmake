@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microburst_hunting.dir/microburst_hunting.cpp.o"
+  "CMakeFiles/microburst_hunting.dir/microburst_hunting.cpp.o.d"
+  "microburst_hunting"
+  "microburst_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microburst_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_core.dir/evaluation.cpp.o"
+  "CMakeFiles/fmnet_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/fmnet_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fmnet_core.dir/pipeline.cpp.o.d"
+  "libfmnet_core.a"
+  "libfmnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impute/alt_models.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/alt_models.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/alt_models.cpp.o.d"
+  "/root/repo/src/impute/cem.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/cem.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/cem.cpp.o.d"
+  "/root/repo/src/impute/fm_model.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/fm_model.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/fm_model.cpp.o.d"
+  "/root/repo/src/impute/iterative_imputer.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/iterative_imputer.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/iterative_imputer.cpp.o.d"
+  "/root/repo/src/impute/knowledge_imputer.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/knowledge_imputer.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/knowledge_imputer.cpp.o.d"
+  "/root/repo/src/impute/linear_interp.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/linear_interp.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/linear_interp.cpp.o.d"
+  "/root/repo/src/impute/rate_imputer.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/rate_imputer.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/rate_imputer.cpp.o.d"
+  "/root/repo/src/impute/streaming.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/streaming.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/streaming.cpp.o.d"
+  "/root/repo/src/impute/transformer_imputer.cpp" "src/impute/CMakeFiles/fmnet_impute.dir/transformer_imputer.cpp.o" "gcc" "src/impute/CMakeFiles/fmnet_impute.dir/transformer_imputer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/fmnet_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fmnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/fmnet_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fmnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fmnet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/fmnet_switchsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_impute.dir/alt_models.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/alt_models.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/cem.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/cem.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/fm_model.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/fm_model.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/iterative_imputer.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/iterative_imputer.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/knowledge_imputer.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/knowledge_imputer.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/linear_interp.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/linear_interp.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/rate_imputer.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/rate_imputer.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/streaming.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/streaming.cpp.o.d"
+  "CMakeFiles/fmnet_impute.dir/transformer_imputer.cpp.o"
+  "CMakeFiles/fmnet_impute.dir/transformer_imputer.cpp.o.d"
+  "libfmnet_impute.a"
+  "libfmnet_impute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_impute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

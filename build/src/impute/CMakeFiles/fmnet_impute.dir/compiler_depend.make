@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fmnet_impute.
+# This may be replaced when dependencies are built.

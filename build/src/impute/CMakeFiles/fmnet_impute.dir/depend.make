@@ -1,0 +1,2 @@
+# Empty dependencies file for fmnet_impute.
+# This may be replaced when dependencies are built.

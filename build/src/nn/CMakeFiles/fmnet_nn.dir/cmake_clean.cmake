@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_nn.dir/attention.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/gru.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/kal.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/kal.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/layers.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/losses.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/losses.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/module.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/module.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/optim.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/fmnet_nn.dir/transformer.cpp.o"
+  "CMakeFiles/fmnet_nn.dir/transformer.cpp.o.d"
+  "libfmnet_nn.a"
+  "libfmnet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

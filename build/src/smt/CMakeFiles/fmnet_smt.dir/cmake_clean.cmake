@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_smt.dir/format.cpp.o"
+  "CMakeFiles/fmnet_smt.dir/format.cpp.o.d"
+  "CMakeFiles/fmnet_smt.dir/model.cpp.o"
+  "CMakeFiles/fmnet_smt.dir/model.cpp.o.d"
+  "CMakeFiles/fmnet_smt.dir/solver.cpp.o"
+  "CMakeFiles/fmnet_smt.dir/solver.cpp.o.d"
+  "libfmnet_smt.a"
+  "libfmnet_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

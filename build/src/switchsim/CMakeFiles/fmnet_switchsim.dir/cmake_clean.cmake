@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_switchsim.dir/recorder.cpp.o"
+  "CMakeFiles/fmnet_switchsim.dir/recorder.cpp.o.d"
+  "CMakeFiles/fmnet_switchsim.dir/switch.cpp.o"
+  "CMakeFiles/fmnet_switchsim.dir/switch.cpp.o.d"
+  "libfmnet_switchsim.a"
+  "libfmnet_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

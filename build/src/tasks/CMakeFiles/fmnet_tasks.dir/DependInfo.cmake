@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/bursts.cpp" "src/tasks/CMakeFiles/fmnet_tasks.dir/bursts.cpp.o" "gcc" "src/tasks/CMakeFiles/fmnet_tasks.dir/bursts.cpp.o.d"
+  "/root/repo/src/tasks/delay.cpp" "src/tasks/CMakeFiles/fmnet_tasks.dir/delay.cpp.o" "gcc" "src/tasks/CMakeFiles/fmnet_tasks.dir/delay.cpp.o.d"
+  "/root/repo/src/tasks/metrics.cpp" "src/tasks/CMakeFiles/fmnet_tasks.dir/metrics.cpp.o" "gcc" "src/tasks/CMakeFiles/fmnet_tasks.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fmnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fmnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fmnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_tasks.dir/bursts.cpp.o"
+  "CMakeFiles/fmnet_tasks.dir/bursts.cpp.o.d"
+  "CMakeFiles/fmnet_tasks.dir/delay.cpp.o"
+  "CMakeFiles/fmnet_tasks.dir/delay.cpp.o.d"
+  "CMakeFiles/fmnet_tasks.dir/metrics.cpp.o"
+  "CMakeFiles/fmnet_tasks.dir/metrics.cpp.o.d"
+  "libfmnet_tasks.a"
+  "libfmnet_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

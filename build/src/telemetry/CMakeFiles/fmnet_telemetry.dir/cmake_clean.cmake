@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_telemetry.dir/dataset.cpp.o"
+  "CMakeFiles/fmnet_telemetry.dir/dataset.cpp.o.d"
+  "CMakeFiles/fmnet_telemetry.dir/monitors.cpp.o"
+  "CMakeFiles/fmnet_telemetry.dir/monitors.cpp.o.d"
+  "libfmnet_telemetry.a"
+  "libfmnet_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

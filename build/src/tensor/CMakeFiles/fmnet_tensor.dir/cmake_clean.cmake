@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/fmnet_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/fmnet_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fmnet_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fmnet_tensor.dir/reduce.cpp.o"
+  "CMakeFiles/fmnet_tensor.dir/reduce.cpp.o.d"
+  "CMakeFiles/fmnet_tensor.dir/shape_ops.cpp.o"
+  "CMakeFiles/fmnet_tensor.dir/shape_ops.cpp.o.d"
+  "CMakeFiles/fmnet_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fmnet_tensor.dir/tensor.cpp.o.d"
+  "libfmnet_tensor.a"
+  "libfmnet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

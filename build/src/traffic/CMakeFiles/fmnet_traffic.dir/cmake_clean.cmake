@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_traffic.dir/sources.cpp.o"
+  "CMakeFiles/fmnet_traffic.dir/sources.cpp.o.d"
+  "CMakeFiles/fmnet_traffic.dir/trace.cpp.o"
+  "CMakeFiles/fmnet_traffic.dir/trace.cpp.o.d"
+  "libfmnet_traffic.a"
+  "libfmnet_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfmnet_traffic.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmnet_util.dir/csv.cpp.o"
+  "CMakeFiles/fmnet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fmnet_util.dir/rng.cpp.o"
+  "CMakeFiles/fmnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fmnet_util.dir/stats.cpp.o"
+  "CMakeFiles/fmnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fmnet_util.dir/string_util.cpp.o"
+  "CMakeFiles/fmnet_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/fmnet_util.dir/table.cpp.o"
+  "CMakeFiles/fmnet_util.dir/table.cpp.o.d"
+  "CMakeFiles/fmnet_util.dir/time_series.cpp.o"
+  "CMakeFiles/fmnet_util.dir/time_series.cpp.o.d"
+  "libfmnet_util.a"
+  "libfmnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
