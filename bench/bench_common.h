@@ -11,6 +11,7 @@
 #include "core/pipeline.h"
 #include "impute/transformer_imputer.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace fmnet::bench {
 
@@ -42,6 +43,11 @@ inline core::CampaignConfig default_campaign(std::uint64_t seed = 42,
     cfg.total_ms = full_ms;
   }
   cfg.total_ms = env_int("FMNET_TOTAL_MS", cfg.total_ms);
+  // Generate as independent 600 ms sub-campaigns so simulation parallelises
+  // across FMNET_THREADS; the result is a pure function of (seed, shard_ms)
+  // regardless of thread count. FMNET_SHARD_MS=0 restores the contiguous
+  // single-seed run.
+  cfg.shard_ms = env_int("FMNET_SHARD_MS", 600);
   return cfg;
 }
 
@@ -71,8 +77,9 @@ inline impute::TrainConfig default_training(bool use_kal,
 inline void print_header(const char* title) {
   std::printf("==========================================================\n");
   std::printf("%s\n", title);
-  std::printf("(deterministic seeds; FMNET_FAST=%s)\n",
-              fast_mode() ? "1 (smoke scale)" : "0 (paper scale)");
+  std::printf("(deterministic seeds; FMNET_FAST=%s; FMNET_THREADS=%zu)\n",
+              fast_mode() ? "1 (smoke scale)" : "0 (paper scale)",
+              util::ThreadPool::configured_threads());
   std::printf("==========================================================\n");
 }
 

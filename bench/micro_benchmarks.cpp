@@ -3,6 +3,7 @@
 // throughput, and single-interval CEM repair.
 #include <benchmark/benchmark.h>
 
+#include "core/pipeline.h"
 #include "impute/cem.h"
 #include "nn/losses.h"
 #include "nn/transformer.h"
@@ -12,6 +13,7 @@
 #include "tensor/ops.h"
 #include "traffic/sources.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -109,6 +111,55 @@ void BM_CemFastRepairInterval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CemFastRepairInterval)->Arg(50)->Arg(200);
+
+// Campaign generation sharded across an explicit thread count. The output
+// is bit-identical for every Arg; the wall-clock ratio between Arg(1) and
+// Arg(4) is the tentpole speedup figure (≈ #cores on a 4+-core host).
+void BM_CampaignShardedThreads(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  core::CampaignConfig cfg;
+  cfg.num_ports = 4;
+  cfg.buffer_size = 300;
+  cfg.slots_per_ms = 30;
+  cfg.total_ms = 1'200;
+  cfg.shard_ms = 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_campaign(cfg, &pool).gt.num_ms());
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.total_ms);
+}
+BENCHMARK(BM_CampaignShardedThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Multi-window CEM correction with the SMT engine (the expensive one),
+// windows solved concurrently on an explicit thread count.
+void BM_CemCorrectThreads(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  const std::int64_t factor = 15;
+  const std::int64_t windows = 8;
+  impute::CemConstraints c;
+  c.coarse_factor = factor;
+  std::vector<double> imputed;
+  for (std::int64_t w = 0; w < windows; ++w) {
+    c.window_max.push_back(40);
+    c.port_sent.push_back(factor / 2);
+    c.sample_idx.push_back(w * factor);
+    c.sample_val.push_back(10);
+    for (std::int64_t t = 0; t < factor; ++t) {
+      imputed.push_back(rng.uniform(0.0, 50.0));
+    }
+  }
+  impute::CemConfig cem_cfg;
+  cem_cfg.engine = impute::CemEngine::kSmtBranchAndBound;
+  impute::ConstraintEnforcementModule cem(cem_cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cem.correct(imputed, c, &pool).objective);
+  }
+  state.SetItemsProcessed(state.iterations() * windows);
+}
+BENCHMARK(BM_CemCorrectThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EmdLoss(benchmark::State& state) {
   Rng rng(4);

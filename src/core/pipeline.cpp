@@ -1,11 +1,48 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "traffic/sources.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace fmnet::core {
 
-Campaign run_campaign(const CampaignConfig& config) {
+namespace {
+
+// One contiguous simulation of `total_ms` with its own switch, workload and
+// recorder — the unit a shard executes.
+switchsim::GroundTruth run_single(const switchsim::SwitchConfig& sw_cfg,
+                                  std::int32_t num_ports,
+                                  std::int64_t total_ms, std::uint64_t seed) {
+  switchsim::OutputQueuedSwitch sw(sw_cfg);
+  switchsim::GroundTruthRecorder recorder(sw);
+  auto source = traffic::make_paper_workload(num_ports, seed);
+
+  std::vector<switchsim::Arrival> arrivals;
+  const std::int64_t slots = total_ms * sw_cfg.slots_per_ms;
+  for (std::int64_t s = 0; s < slots; ++s) {
+    arrivals.clear();
+    source->generate(s, arrivals);
+    sw.step(arrivals);
+    recorder.on_slot();
+  }
+  return recorder.finish();
+}
+
+void append_series(std::vector<fmnet::TimeSeries>& into,
+                   const std::vector<fmnet::TimeSeries>& from) {
+  FMNET_CHECK_EQ(into.size(), from.size());
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    auto& dst = into[i].values();
+    const auto& src = from[i].values();
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+}
+
+}  // namespace
+
+Campaign run_campaign(const CampaignConfig& config, util::ThreadPool* pool) {
   FMNET_CHECK_GT(config.total_ms, 0);
   switchsim::SwitchConfig sw_cfg;
   sw_cfg.num_ports = config.num_ports;
@@ -16,19 +53,38 @@ Campaign run_campaign(const CampaignConfig& config) {
   sw_cfg.slots_per_ms = config.slots_per_ms;
   sw_cfg.scheduler = config.scheduler;
 
-  switchsim::OutputQueuedSwitch sw(sw_cfg);
-  switchsim::GroundTruthRecorder recorder(sw);
-  auto source = traffic::make_paper_workload(config.num_ports, config.seed);
-
-  std::vector<switchsim::Arrival> arrivals;
-  const std::int64_t slots = config.total_ms * config.slots_per_ms;
-  for (std::int64_t s = 0; s < slots; ++s) {
-    arrivals.clear();
-    source->generate(s, arrivals);
-    sw.step(arrivals);
-    recorder.on_slot();
+  const bool sharded =
+      config.shard_ms > 0 && config.shard_ms < config.total_ms;
+  if (!sharded) {
+    return Campaign{sw_cfg, run_single(sw_cfg, config.num_ports,
+                                       config.total_ms, config.seed)};
   }
-  return Campaign{sw_cfg, recorder.finish()};
+
+  // Fixed decomposition: shard i covers [i*shard_ms, min((i+1)*shard_ms,
+  // total_ms)) with its own derived seed. Both depend only on the config,
+  // so any thread count produces the same concatenated ground truth.
+  const std::int64_t num_shards =
+      (config.total_ms + config.shard_ms - 1) / config.shard_ms;
+  std::vector<switchsim::GroundTruth> parts =
+      util::parallel_map<switchsim::GroundTruth>(
+          util::ThreadPool::resolve(pool), num_shards, [&](std::int64_t i) {
+            const std::int64_t ms = std::min(
+                config.shard_ms, config.total_ms - i * config.shard_ms);
+            return run_single(
+                sw_cfg, config.num_ports, ms,
+                derive_stream_seed(config.seed,
+                                   static_cast<std::uint64_t>(i)));
+          });
+
+  switchsim::GroundTruth gt = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    append_series(gt.queue_len, parts[i].queue_len);
+    append_series(gt.queue_len_max, parts[i].queue_len_max);
+    append_series(gt.port_sent, parts[i].port_sent);
+    append_series(gt.port_dropped, parts[i].port_dropped);
+    append_series(gt.port_received, parts[i].port_received);
+  }
+  return Campaign{sw_cfg, std::move(gt)};
 }
 
 PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,

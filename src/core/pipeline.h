@@ -14,6 +14,7 @@
 #include "switchsim/switch.h"
 #include "telemetry/dataset.h"
 #include "telemetry/monitors.h"
+#include "util/thread_pool.h"
 
 namespace fmnet::core {
 
@@ -30,6 +31,15 @@ struct CampaignConfig {
   std::uint64_t seed = 42;
   switchsim::SchedulerType scheduler =
       switchsim::SchedulerType::kRoundRobin;
+  /// When > 0, the campaign is generated as independent sub-campaigns of
+  /// `shard_ms` milliseconds each (the last shard takes any remainder),
+  /// concatenated in order. Each shard runs its own switch and workload
+  /// seeded by derive_stream_seed(seed, shard), so the result depends only
+  /// on (seed, shard_ms) — never on the thread count — and shards can be
+  /// simulated concurrently. 0 (default) keeps the single contiguous run
+  /// seeded by `seed`. Pick a multiple of the telemetry window (e.g. 500)
+  /// so shard boundaries align with coarse intervals.
+  std::int64_t shard_ms = 0;
 };
 
 /// A completed simulation: config + fine-grained ground truth.
@@ -39,7 +49,10 @@ struct Campaign {
 };
 
 /// Runs the paper workload through the switch and records ground truth.
-Campaign run_campaign(const CampaignConfig& config);
+/// With config.shard_ms > 0, shards are simulated concurrently on `pool`
+/// (null = global pool); output is identical at every thread count.
+Campaign run_campaign(const CampaignConfig& config,
+                      util::ThreadPool* pool = nullptr);
 
 /// Prepared data: coarse telemetry plus train/test example splits.
 struct PreparedData {

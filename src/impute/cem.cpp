@@ -53,7 +53,6 @@ ConstraintEnforcementModule::correct_interval_fast(
 
   // Feasibility screens on the sampled (immutable) steps.
   std::int64_t forced_nonempty = 0;
-  bool sample_attains_max = false;
   for (std::int64_t t = 0; t < factor; ++t) {
     const std::int64_t s = sample_at[static_cast<std::size_t>(t)];
     if (s < 0) continue;
@@ -62,90 +61,45 @@ ConstraintEnforcementModule::correct_interval_fast(
       return res;
     }
     if (s > 0) ++forced_nonempty;
-    if (s == m_max) sample_attains_max = true;
   }
   if (forced_nonempty > m_out) {
     res.feasible = false;
     return res;
   }
 
-  // Per-step base assignment (closest feasible point ignoring C1
-  // attainment and C3) and its cost.
+  // Per-step optimum under C1/C2 alone: clamp into [0, m_max]. C1 is an
+  // upper bound, so no step needs to be raised to attain m_max.
   std::vector<std::int64_t> base(static_cast<std::size_t>(factor));
-  std::int64_t base_cost = 0;
+  std::int64_t cost = 0;
+  std::int64_t nonempty = forced_nonempty;
+  // Optional non-empty steps (non-sampled, base > 0) with the cost delta
+  // of zeroing them instead: (Δ, t).
+  std::vector<std::pair<std::int64_t, std::int64_t>> zero_delta;
   for (std::int64_t t = 0; t < factor; ++t) {
     const std::int64_t s = sample_at[static_cast<std::size_t>(t)];
     if (s >= 0) {
       base[t] = s;
     } else {
       base[t] = std::clamp<std::int64_t>(ref[t], 0, m_max);
-      base_cost += iabs(base[t] - ref[t]);
-    }
-  }
-
-  // Evaluates one branch: `raise_at` = index forced to m_max (-1 when a
-  // sample already attains it). Returns total objective or -1 if the
-  // branch cannot satisfy C3.
-  auto evaluate = [&](std::int64_t raise_at, std::vector<std::int64_t>* out,
-                      std::int64_t* out_cost) {
-    std::int64_t cost = base_cost;
-    std::int64_t nonempty = forced_nonempty;
-    if (raise_at >= 0) {
-      cost -= iabs(base[raise_at] - ref[raise_at]);
-      cost += iabs(m_max - ref[raise_at]);
-      if (m_max > 0) ++nonempty;
-    }
-    // Optional non-empty steps: non-sampled, not the raised one, base > 0.
-    std::vector<std::pair<std::int64_t, std::int64_t>> zero_delta;  // (Δ, t)
-    for (std::int64_t t = 0; t < factor; ++t) {
-      if (sample_at[static_cast<std::size_t>(t)] >= 0 || t == raise_at) {
-        continue;
-      }
+      cost += iabs(base[t] - ref[t]);
       if (base[t] > 0) {
         ++nonempty;
         zero_delta.emplace_back(iabs(ref[t]) - iabs(base[t] - ref[t]), t);
       }
     }
-    const std::int64_t need_zero = std::max<std::int64_t>(0,
-                                                          nonempty - m_out);
-    if (need_zero > static_cast<std::int64_t>(zero_delta.size())) {
-      return false;
-    }
-    std::sort(zero_delta.begin(), zero_delta.end());
-    if (out != nullptr) {
-      *out = base;
-      if (raise_at >= 0) (*out)[raise_at] = m_max;
-      for (std::int64_t k = 0; k < need_zero; ++k) {
-        (*out)[zero_delta[static_cast<std::size_t>(k)].second] = 0;
-      }
-    }
-    for (std::int64_t k = 0; k < need_zero; ++k) {
-      cost += zero_delta[static_cast<std::size_t>(k)].first;
-    }
-    *out_cost = cost;
-    return true;
-  };
+  }
 
-  std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
-  std::int64_t best_raise = -2;  // -2 = none found
-  std::int64_t cost = 0;
-  if (sample_attains_max && evaluate(-1, nullptr, &cost)) {
-    best_cost = cost;
-    best_raise = -1;
+  // C3: zero the cheapest optional steps until the non-empty count fits.
+  // Always possible: forced_nonempty <= m_out was screened above.
+  const std::int64_t need_zero =
+      std::max<std::int64_t>(0, nonempty - m_out);
+  std::sort(zero_delta.begin(), zero_delta.end());
+  for (std::int64_t k = 0; k < need_zero; ++k) {
+    base[zero_delta[static_cast<std::size_t>(k)].second] = 0;
+    cost += zero_delta[static_cast<std::size_t>(k)].first;
   }
-  for (std::int64_t r = 0; r < factor; ++r) {
-    if (sample_at[static_cast<std::size_t>(r)] >= 0) continue;
-    if (evaluate(r, nullptr, &cost) && cost < best_cost) {
-      best_cost = cost;
-      best_raise = r;
-    }
-  }
-  if (best_raise == -2) {
-    res.feasible = false;
-    return res;
-  }
-  FMNET_CHECK(evaluate(best_raise, &res.values, &res.objective),
-              "winning branch must re-evaluate feasibly");
+  res.values = std::move(base);
+  res.objective = cost;
   return res;
 }
 
@@ -172,14 +126,7 @@ ConstraintEnforcementModule::correct_interval_smt(
       model.add_linear(smt::LinExpr(q[t]), smt::Cmp::kEq, s);
     }
   }
-  // C1: max attained (upper bound is the domain; attainment via clause).
-  std::vector<smt::BoolLit> attain;
-  for (std::int64_t t = 0; t < factor; ++t) {
-    const smt::VarId b = model.new_bool();
-    model.add_reified(b, smt::LinExpr(q[t]), smt::Cmp::kGe, m_max);
-    attain.push_back(smt::pos(b));
-  }
-  model.add_clause(std::move(attain));
+  // C1 (upper bound) is the variable domain [0, m_max] itself.
   // C3: Σ [q_t >= 1] <= m_out.
   smt::LinExpr ne;
   for (std::int64_t t = 0; t < factor; ++t) {
@@ -216,7 +163,8 @@ ConstraintEnforcementModule::correct_interval_smt(
 
 PortCemResult ConstraintEnforcementModule::correct_port(
     const std::vector<std::vector<double>>& imputed,
-    const std::vector<CemConstraints>& per_queue) const {
+    const std::vector<CemConstraints>& per_queue,
+    util::ThreadPool* pool) const {
   fmnet::Stopwatch clock;
   FMNET_CHECK(!imputed.empty(), "no queues");
   FMNET_CHECK_EQ(imputed.size(), per_queue.size());
@@ -243,20 +191,41 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     }
   }
 
-  PortCemResult out;
-  out.corrected.assign(nq, std::vector<double>(
-                               static_cast<std::size_t>(t_len), 0.0));
-  for (std::int64_t w = 0; w < windows; ++w) {
+  // Each window is an independent SMT problem: solve them concurrently
+  // into per-window slots, then stitch in window order so the result is
+  // identical at every thread count.
+  struct WindowResult {
+    bool feasible = true;
+    std::int64_t objective = 0;
+    std::vector<std::vector<double>> values;  // [queue][t within window]
+  };
+  std::vector<WindowResult> results(static_cast<std::size_t>(windows));
+
+  util::ThreadPool::resolve(pool).parallel_for(0, windows, [&](std::int64_t
+                                                                   w) {
+    WindowResult& wr = results[static_cast<std::size_t>(w)];
+    wr.values.assign(nq,
+                     std::vector<double>(static_cast<std::size_t>(factor)));
     const std::int64_t begin = w * factor;
+    auto clamp_fallback = [&] {
+      wr.feasible = false;
+      for (std::size_t q = 0; q < nq; ++q) {
+        for (std::int64_t t = 0; t < factor; ++t) {
+          wr.values[q][static_cast<std::size_t>(t)] = std::max(
+              0.0, imputed[q][static_cast<std::size_t>(begin + t)]);
+        }
+      }
+    };
+
     smt::Model model;
     std::vector<std::vector<smt::VarId>> qv(nq);
     smt::LinExpr objective;
     std::vector<smt::LinExpr> step_nz(static_cast<std::size_t>(factor));
 
     for (std::size_t q = 0; q < nq; ++q) {
+      // C1 (upper bound) is each variable's domain [0, m_max].
       const std::int64_t m_max =
           per_queue[q].window_max[static_cast<std::size_t>(w)];
-      std::vector<smt::BoolLit> attain;
       for (std::int64_t t = 0; t < factor; ++t) {
         const smt::VarId v = model.new_int(0, m_max);
         qv[q].push_back(v);
@@ -264,9 +233,8 @@ PortCemResult ConstraintEnforcementModule::correct_port(
             sample_at[q][static_cast<std::size_t>(begin + t)];
         if (s >= 0) {
           if (s > m_max) {
-            out.feasible = false;
-            out.seconds = clock.elapsed_seconds();
-            return out;
+            clamp_fallback();
+            return;
           }
           model.add_linear(smt::LinExpr(v), smt::Cmp::kEq, s);
         } else {
@@ -277,15 +245,11 @@ PortCemResult ConstraintEnforcementModule::correct_port(
                       smt::LinExpr(model.add_abs(
                           smt::LinExpr(v) - smt::LinExpr(ref), hi));
         }
-        const smt::VarId b = model.new_bool();
-        model.add_reified(b, smt::LinExpr(v), smt::Cmp::kGe, m_max);
-        attain.push_back(smt::pos(b));
         const smt::VarId nz = model.new_bool();
         model.add_reified(nz, smt::LinExpr(v), smt::Cmp::kGe, 1);
         step_nz[static_cast<std::size_t>(t)] =
             step_nz[static_cast<std::size_t>(t)] + smt::LinExpr(nz);
       }
-      model.add_clause(std::move(attain));
     }
 
     // Port-level NE: or_t <-> any queue non-empty at t; Σ or_t <= m_out.
@@ -310,21 +274,30 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     smt::Solver solver(model, config_.smt_budget);
     const smt::SolveResult r = solver.minimize();
     if (!r.has_solution()) {
-      out.feasible = false;
-      for (std::size_t q = 0; q < nq; ++q) {
-        for (std::int64_t t = 0; t < factor; ++t) {
-          out.corrected[q][static_cast<std::size_t>(begin + t)] = std::max(
-              0.0, imputed[q][static_cast<std::size_t>(begin + t)]);
-        }
-      }
-      continue;
+      clamp_fallback();
+      return;
     }
-    out.objective += r.objective;
+    wr.objective = r.objective;
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::int64_t t = 0; t < factor; ++t) {
+        wr.values[q][static_cast<std::size_t>(t)] = static_cast<double>(
+            r.value(qv[q][static_cast<std::size_t>(t)]));
+      }
+    }
+  });
+
+  PortCemResult out;
+  out.corrected.assign(nq, std::vector<double>(
+                               static_cast<std::size_t>(t_len), 0.0));
+  for (std::int64_t w = 0; w < windows; ++w) {
+    const WindowResult& wr = results[static_cast<std::size_t>(w)];
+    const std::int64_t begin = w * factor;
+    if (!wr.feasible) out.feasible = false;
+    if (wr.feasible) out.objective += wr.objective;
     for (std::size_t q = 0; q < nq; ++q) {
       for (std::int64_t t = 0; t < factor; ++t) {
         out.corrected[q][static_cast<std::size_t>(begin + t)] =
-            static_cast<double>(
-                r.value(qv[q][static_cast<std::size_t>(t)]));
+            wr.values[q][static_cast<std::size_t>(t)];
       }
     }
   }
@@ -333,7 +306,8 @@ PortCemResult ConstraintEnforcementModule::correct_port(
 }
 
 CemResult ConstraintEnforcementModule::correct(
-    const std::vector<double>& imputed, const CemConstraints& c) const {
+    const std::vector<double>& imputed, const CemConstraints& c,
+    util::ThreadPool* pool) const {
   fmnet::Stopwatch clock;
   const std::int64_t factor = c.coarse_factor;
   FMNET_CHECK_GT(factor, 0);
@@ -352,34 +326,46 @@ CemResult ConstraintEnforcementModule::correct(
     sample_at[static_cast<std::size_t>(idx)] = c.sample_val[s];
   }
 
+  // Validate serially so malformed constraints throw deterministically,
+  // then correct the independent intervals concurrently into per-window
+  // slots and stitch in window order.
+  for (std::int64_t w = 0; w < windows; ++w) {
+    FMNET_CHECK_GE(c.window_max[static_cast<std::size_t>(w)], 0);
+    FMNET_CHECK_GE(c.port_sent[static_cast<std::size_t>(w)], 0);
+  }
+
+  std::vector<IntervalResult> results(static_cast<std::size_t>(windows));
+  util::ThreadPool::resolve(pool).parallel_for(
+      0, windows, [&](std::int64_t w) {
+        const auto begin = static_cast<std::size_t>(w * factor);
+        const std::vector<double> window_in(
+            imputed.begin() + static_cast<std::ptrdiff_t>(begin),
+            imputed.begin() + static_cast<std::ptrdiff_t>(begin + factor));
+        const std::vector<std::int64_t> window_samples(
+            sample_at.begin() + static_cast<std::ptrdiff_t>(begin),
+            sample_at.begin() + static_cast<std::ptrdiff_t>(begin + factor));
+        const std::int64_t m_max = c.window_max[static_cast<std::size_t>(w)];
+        const std::int64_t m_out = c.port_sent[static_cast<std::size_t>(w)];
+        results[static_cast<std::size_t>(w)] =
+            config_.engine == CemEngine::kFastRepair
+                ? correct_interval_fast(window_in, m_max, m_out,
+                                        window_samples, factor)
+                : correct_interval_smt(window_in, m_max, m_out,
+                                       window_samples, factor);
+      });
+
   CemResult out;
   out.corrected.resize(static_cast<std::size_t>(t_len));
   for (std::int64_t w = 0; w < windows; ++w) {
+    const IntervalResult& r = results[static_cast<std::size_t>(w)];
     const auto begin = static_cast<std::size_t>(w * factor);
-    const std::vector<double> window_in(
-        imputed.begin() + static_cast<std::ptrdiff_t>(begin),
-        imputed.begin() + static_cast<std::ptrdiff_t>(begin + factor));
-    const std::vector<std::int64_t> window_samples(
-        sample_at.begin() + static_cast<std::ptrdiff_t>(begin),
-        sample_at.begin() + static_cast<std::ptrdiff_t>(begin + factor));
-    const std::int64_t m_max = c.window_max[static_cast<std::size_t>(w)];
-    const std::int64_t m_out = c.port_sent[static_cast<std::size_t>(w)];
-    FMNET_CHECK_GE(m_max, 0);
-    FMNET_CHECK_GE(m_out, 0);
-
-    const IntervalResult r =
-        config_.engine == CemEngine::kFastRepair
-            ? correct_interval_fast(window_in, m_max, m_out, window_samples,
-                                    factor)
-            : correct_interval_smt(window_in, m_max, m_out, window_samples,
-                                   factor);
     if (!r.feasible) {
       out.feasible = false;
       // Leave this interval as the clamped input so callers still get a
       // usable series.
       for (std::int64_t t = 0; t < factor; ++t) {
         out.corrected[begin + static_cast<std::size_t>(t)] = std::max(
-            0.0, window_in[static_cast<std::size_t>(t)]);
+            0.0, imputed[begin + static_cast<std::size_t>(t)]);
       }
       continue;
     }

@@ -4,19 +4,25 @@
 // selected constraints hold *exactly*, while minimally changing the output:
 //
 //   min Σ_{t ∉ T_samples} | Q̂c[t] − Q̂[t] |
-//   s.t. C1: per interval w,  max_{t∈w} Q̂c[t] = m_max_w
+//   s.t. C1: per interval w,  max_{t∈w} Q̂c[t] ≤ m_max_w
 //        C2: Q̂c[t] = m_len_t              for sampled t
 //        C3: per interval w,  #{t∈w : Q̂c[t] > 0} ≤ m_out_w
 //
+// C1 is an upper bound (not an attained equality): m_max is the LANZ
+// slot-granularity intra-interval maximum, which the per-ms corrected
+// series may legitimately stay below when the peak fell between two ms
+// samples (see nn/kal.h).
+//
 // Because every constraint is interval-local, the optimisation decomposes
-// into one problem per coarse interval. Two interchangeable engines solve
-// it over integer packet counts:
+// into one problem per coarse interval; independent intervals are
+// corrected concurrently on the shared ThreadPool with a deterministic
+// in-order stitch. Two interchangeable engines solve each interval over
+// integer packet counts:
 //
 //  * kFastRepair — an exact specialised algorithm: each step's
-//    unconstrained optimum is clamp(round(q̂), 0, m_max); then the max-
-//    attainment step r and the set of steps zeroed for C3 are chosen by
-//    enumerating r and greedily zeroing the cheapest steps (optimal since
-//    step costs are independent given r). O(F² log F) per interval.
+//    unconstrained optimum is clamp(round(q̂), 0, m_max); then the steps
+//    zeroed for C3 are the cheapest ones (optimal since step costs are
+//    independent). O(F log F) per interval.
 //  * kSmtBranchAndBound — the same encoding handed to the smtlite solver
 //    as a branch-and-bound minimisation (how the paper uses Z3).
 //
@@ -28,6 +34,7 @@
 
 #include "nn/kal.h"
 #include "smt/solver.h"
+#include "util/thread_pool.h"
 
 namespace fmnet::impute {
 
@@ -77,8 +84,11 @@ class ConstraintEnforcementModule {
   /// factor * #intervals. Throws CheckError on malformed constraints;
   /// returns feasible=false when the constraint system is contradictory
   /// (cannot happen for measurements produced by a real switch).
+  /// Intervals are corrected concurrently on `pool` (null = global pool);
+  /// the result is identical at every thread count.
   CemResult correct(const std::vector<double>& imputed,
-                    const CemConstraints& c) const;
+                    const CemConstraints& c,
+                    util::ThreadPool* pool = nullptr) const;
 
   /// Port-level joint correction: the paper's exact C3 semantics, where
   /// the non-empty indicator is the *disjunction over all queues of the
@@ -88,9 +98,12 @@ class ConstraintEnforcementModule {
   /// share coarse_factor and horizon; c[0].port_sent carries the port
   /// budget. Solved with the smtlite engine (the joint problem has no
   /// independent-cost structure for the fast repair).
+  /// Windows are solved concurrently on `pool` (null = global pool) with a
+  /// deterministic in-order stitch.
   PortCemResult correct_port(
       const std::vector<std::vector<double>>& imputed,
-      const std::vector<CemConstraints>& per_queue) const;
+      const std::vector<CemConstraints>& per_queue,
+      util::ThreadPool* pool = nullptr) const;
 
  private:
   struct IntervalResult {

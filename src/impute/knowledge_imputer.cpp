@@ -5,8 +5,9 @@
 namespace fmnet::impute {
 
 KnowledgeAugmentedImputer::KnowledgeAugmentedImputer(
-    std::shared_ptr<Imputer> base, CemConfig cem_config)
-    : base_(std::move(base)), cem_(cem_config) {
+    std::shared_ptr<Imputer> base, CemConfig cem_config,
+    util::ThreadPool* pool)
+    : base_(std::move(base)), cem_(cem_config), pool_(pool) {
   FMNET_CHECK(base_ != nullptr, "null base imputer");
 }
 
@@ -15,7 +16,7 @@ std::vector<double> KnowledgeAugmentedImputer::impute(
   const std::vector<double> raw = base_->impute(ex);
   const CemConstraints c =
       to_packet_constraints(ex.constraints, ex.qlen_scale);
-  const CemResult r = cem_.correct(raw, c);
+  const CemResult r = cem_.correct(raw, c, pool_);
   total_cem_seconds_ += r.seconds;
   ++cem_calls_;
   if (!r.feasible) ++infeasible_;

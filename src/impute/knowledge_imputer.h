@@ -17,7 +17,11 @@ namespace fmnet::impute {
 /// witness).
 class KnowledgeAugmentedImputer : public Imputer {
  public:
-  KnowledgeAugmentedImputer(std::shared_ptr<Imputer> base, CemConfig cem_config = {});
+  /// `pool` is forwarded to CEM so windows are corrected concurrently
+  /// (null = global pool); it must outlive the imputer.
+  KnowledgeAugmentedImputer(std::shared_ptr<Imputer> base,
+                            CemConfig cem_config = {},
+                            util::ThreadPool* pool = nullptr);
 
   std::string name() const override { return base_->name() + "+CEM"; }
   std::vector<double> impute(const ImputationExample& ex) override;
@@ -33,6 +37,7 @@ class KnowledgeAugmentedImputer : public Imputer {
  private:
   std::shared_ptr<Imputer> base_;
   ConstraintEnforcementModule cem_;
+  util::ThreadPool* pool_ = nullptr;
   double total_cem_seconds_ = 0.0;
   std::int64_t cem_calls_ = 0;
   std::int64_t infeasible_ = 0;

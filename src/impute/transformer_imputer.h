@@ -10,6 +10,7 @@
 #include "nn/kal.h"
 #include "nn/optim.h"
 #include "nn/transformer.h"
+#include "util/thread_pool.h"
 
 namespace fmnet::impute {
 
@@ -29,6 +30,13 @@ struct TrainConfig {
   float kal_weight = 1.0f;
   std::uint64_t seed = 1;
   bool verbose = false;
+  /// Data-parallel gradient accumulation: each batch is cut into fixed
+  /// micro-shards of at most this many examples, which are forwarded and
+  /// backpropagated independently (concurrently when a pool has spare
+  /// lanes) and reduced in shard order. The decomposition — and therefore
+  /// every trained weight — depends only on this value and the seed, never
+  /// on the thread count.
+  int micro_batch = 1;
 };
 
 struct TrainStats {
@@ -45,8 +53,13 @@ class TransformerImputer : public Imputer {
                      TrainConfig train_config);
 
   /// Trains on the given examples (each example keeps a stable index for
-  /// its per-example Lagrange multipliers).
-  TrainStats train(const std::vector<ImputationExample>& examples);
+  /// its per-example Lagrange multipliers). Micro-shards of each batch run
+  /// concurrently on `pool` (null = global pool) over per-lane model
+  /// replicas; gradients are reduced in shard order and dropout draws from
+  /// per-shard derived Rng streams, so the trained weights are bit-for-bit
+  /// identical at every thread count.
+  TrainStats train(const std::vector<ImputationExample>& examples,
+                   util::ThreadPool* pool = nullptr);
 
   std::string name() const override {
     return train_config_.use_kal ? "Transformer+KAL" : "Transformer";

@@ -22,13 +22,14 @@ KalTerms kal_penalty(const Tensor& pred, const ExampleConstraints& c,
   FMNET_CHECK_EQ(static_cast<std::int64_t>(c.port_sent.size()), windows);
   FMNET_CHECK_EQ(c.sample_idx.size(), c.sample_val.size());
 
-  // Φ: equality violations (C1 per-window max, C2 sampled points).
+  // Φ: C1 per-window max (upper bound — only exceeding the LANZ max is a
+  // violation, see kal.h) and C2 sampled points (equality).
   Tensor phi = Tensor::scalar(0.0f);
   for (std::int64_t w = 0; w < windows; ++w) {
     const Tensor win =
         tensor::slice(pred, 0, w * c.coarse_factor, (w + 1) * c.coarse_factor);
     const Tensor wmax = max_all(win);
-    phi = phi + abs(add_scalar(wmax, -c.window_max[static_cast<std::size_t>(
+    phi = phi + relu(add_scalar(wmax, -c.window_max[static_cast<std::size_t>(
                                           w)]));
   }
   for (std::size_t s = 0; s < c.sample_idx.size(); ++s) {
@@ -110,8 +111,8 @@ ConstraintViolations evaluate_constraints(const std::vector<double>& pred,
       wmax = std::max(wmax, q);
       if (q > 0.0) ++ne;
     }
-    v.max_violation +=
-        std::abs(wmax - c.window_max[static_cast<std::size_t>(w)]);
+    v.max_violation += std::max(
+        0.0, wmax - c.window_max[static_cast<std::size_t>(w)]);
     v.sent_violation += std::max(
         0.0, static_cast<double>(ne) -
                  static_cast<double>(c.port_sent[static_cast<std::size_t>(w)]));

@@ -4,13 +4,19 @@
 // switch constraints the paper selects because they are directly evaluable
 // on the model output:
 //
-//   C1 (max):       max_{t in window} Q̂[t] = m_max_window          (equality)
+//   C1 (max):       max_{t in window} Q̂[t] <= m_max_window      (upper bound)
 //   C2 (periodic):  Q̂[t] = m_len_t for sampled t                   (equality)
 //   C3 (work conservation): NE = #non-empty steps <= m_out (packets sent)
 //                                                              (inequality)
 //
-// Per example i we aggregate equality violations into a scalar
-//   Φ_i = Σ_w |max_{t∈w} Q̂ - m_max_w| + Σ_{t∈samples} |Q̂_t - m_len_t|
+// C1 is an upper bound, not an equality: LANZ reports the slot-granularity
+// intra-interval maximum, while the imputed series lives on the per-ms
+// grid, so a peak reached and drained between two ms boundaries can
+// legitimately exceed every per-ms value — demanding attainment would make
+// the ground truth itself infeasible.
+//
+// Per example i we aggregate C1/C2 violations into a scalar
+//   Φ_i = Σ_w relu(max_{t∈w} Q̂ - m_max_w) + Σ_{t∈samples} |Q̂_t - m_len_t|
 // and inequality violations into
 //   Ψ_i = Σ_w relu( Σ_{t∈w} tanh(k·relu(Q̂_t)) - m_out_w )
 // (the tanh soft-counts non-empty steps, the per-window hinge strengthens
@@ -40,7 +46,8 @@ struct ExampleConstraints {
   /// values.
   std::vector<std::int64_t> sample_idx;
   std::vector<float> sample_val;
-  /// C1: per-coarse-interval maximum queue length (LANZ).
+  /// C1: per-coarse-interval maximum queue length (LANZ); an upper bound
+  /// on every fine step of the window (see file comment).
   std::vector<float> window_max;
   /// C3: per-coarse-interval packets sent by the port (SNMP), expressed in
   /// "fine steps" units (i.e. already min'd with the interval length).
@@ -92,7 +99,7 @@ class KalState {
 /// series, used by evaluation code; same semantics as kal_penalty but on
 /// plain doubles and with a hard non-emptiness test.
 struct ConstraintViolations {
-  double max_violation = 0.0;       // Σ_w |max - m_max_w|
+  double max_violation = 0.0;       // Σ_w relu(max - m_max_w)
   double periodic_violation = 0.0;  // Σ_samples |q - m_len|
   double sent_violation = 0.0;      // Σ_w relu(NE_w - m_out_w)
   bool satisfied(double tol = 1e-6) const {

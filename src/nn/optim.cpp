@@ -39,17 +39,18 @@ void Sgd::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& node = *params_[i].node();
     if (node.grad.empty()) continue;
+    auto& data = node.data_mut();
     if (momentum_ != 0.0f) {
-      if (velocity_[i].size() != node.data.size()) {
-        velocity_[i].assign(node.data.size(), 0.0f);
+      if (velocity_[i].size() != data.size()) {
+        velocity_[i].assign(data.size(), 0.0f);
       }
-      for (std::size_t j = 0; j < node.data.size(); ++j) {
+      for (std::size_t j = 0; j < data.size(); ++j) {
         velocity_[i][j] = momentum_ * velocity_[i][j] + node.grad[j];
-        node.data[j] -= lr_ * velocity_[i][j];
+        data[j] -= lr_ * velocity_[i][j];
       }
     } else {
-      for (std::size_t j = 0; j < node.data.size(); ++j) {
-        node.data[j] -= lr_ * node.grad[j];
+      for (std::size_t j = 0; j < data.size(); ++j) {
+        data[j] -= lr_ * node.grad[j];
       }
     }
   }
@@ -74,11 +75,12 @@ void Adam::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& node = *params_[i].node();
     if (node.grad.empty()) continue;
-    if (m_[i].size() != node.data.size()) {
-      m_[i].assign(node.data.size(), 0.0f);
-      v_[i].assign(node.data.size(), 0.0f);
+    auto& data = node.data_mut();
+    if (m_[i].size() != data.size()) {
+      m_[i].assign(data.size(), 0.0f);
+      v_[i].assign(data.size(), 0.0f);
     }
-    for (std::size_t j = 0; j < node.data.size(); ++j) {
+    for (std::size_t j = 0; j < data.size(); ++j) {
       const float g = node.grad[j];
       m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
       v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
@@ -86,9 +88,9 @@ void Adam::step() {
       const float vhat = v_[i][j] / bias2;
       float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
       if (weight_decay_ > 0.0f) {
-        update += lr_ * weight_decay_ * node.data[j];
+        update += lr_ * weight_decay_ * data[j];
       }
-      node.data[j] -= update;
+      data[j] -= update;
     }
   }
 }

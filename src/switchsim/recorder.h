@@ -20,7 +20,9 @@ struct GroundTruth {
   /// interval's SNMP sent count (constraint C3).
   std::vector<fmnet::TimeSeries> queue_len;
   /// Maximum queue length observed at slot granularity within each ms, per
-  /// flat queue (used by tests and finer-grained monitors).
+  /// flat queue. This is the series LANZ max-telemetry aggregates (see
+  /// telemetry/monitors.cpp): a burst that builds and drains between two ms
+  /// boundaries appears here but not in queue_len.
   std::vector<fmnet::TimeSeries> queue_len_max;
   /// Per-port packets sent / dropped / received during each millisecond.
   std::vector<fmnet::TimeSeries> port_sent;

@@ -26,7 +26,9 @@ void ConsistencyAccumulator::add(const std::vector<double>& imputed,
     }
     const double m_max =
         static_cast<double>(c.window_max[static_cast<std::size_t>(w)]);
-    max_violation += std::abs(wmax - m_max);
+    // C1 is an upper bound (see nn/kal.h): staying below the LANZ max is
+    // legal because the true slot-level peak may fall between ms samples.
+    max_violation += std::max(0.0, wmax - m_max);
     max_norm += m_max;
     const double m_out =
         static_cast<double>(c.port_sent[static_cast<std::size_t>(w)]);

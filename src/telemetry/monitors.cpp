@@ -10,10 +10,18 @@ CoarseTelemetry sample_telemetry(const switchsim::GroundTruth& gt,
   FMNET_CHECK_GT(gt.num_ms(), 0u);
   FMNET_CHECK_EQ(gt.num_ms() % factor, 0u);
 
+  FMNET_CHECK_EQ(gt.queue_len_max.size(), gt.queue_len.size());
+
   CoarseTelemetry ct;
   ct.factor = factor;
   for (const auto& q : gt.queue_len) {
     ct.periodic_qlen.push_back(q.downsample_instant(factor));
+  }
+  // LANZ reports the true intra-interval maximum, which the recorder tracks
+  // at slot granularity in queue_len_max. Taking downsample_max over the
+  // ms-start instantaneous series instead would miss any peak reached (and
+  // drained) between two ms boundaries and under-report the C1 bound.
+  for (const auto& q : gt.queue_len_max) {
     ct.max_qlen.push_back(q.downsample_max(factor));
   }
   for (const auto& p : gt.port_sent) {

@@ -96,7 +96,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
           // dA = dC @ B^T, per batch element.
           for (std::int64_t e = 0; e < batch; ++e) {
             const float* bp2 =
-                bn->data.data() + (batched_b ? e * k * n : 0);
+                bn->cdata().data() + (batched_b ? e * k * n : 0);
             gemm_bt_acc(go + e * m * n, bp2, an->grad.data() + e * m * k, m,
                         n, k);
           }
@@ -106,7 +106,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
           // dB = A^T @ dC; when rhs is shared 2-D, sum over the batch.
           for (std::int64_t e = 0; e < batch; ++e) {
             float* gb = bn->grad.data() + (batched_b ? e * k * n : 0);
-            gemm_at_acc(an->data.data() + e * m * k, go + e * m * n, gb, k,
+            gemm_at_acc(an->cdata().data() + e * m * k, go + e * m * n, gb, k,
                         m, n);
           }
         }

@@ -40,8 +40,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DA da, DB db) {
         detail::for_each_bcast2(
             out_shape, sa, sb,
             [&](std::int64_t n, std::int64_t ia, std::int64_t ib) {
-              const float x = an->data[static_cast<std::size_t>(ia)];
-              const float y = bn->data[static_cast<std::size_t>(ib)];
+              const float x = an->cdata()[static_cast<std::size_t>(ia)];
+              const float y = bn->cdata()[static_cast<std::size_t>(ib)];
               const float g = o.grad[static_cast<std::size_t>(n)];
               if (need_a) an->grad[static_cast<std::size_t>(ia)] += da(x, y, g);
               if (need_b) bn->grad[static_cast<std::size_t>(ib)] += db(x, y, g);
@@ -59,8 +59,8 @@ Tensor unary_op(const Tensor& a, F f, D d) {
   auto an = a.node();
   return make_op_result(a.shape(), std::move(out), {a}, [an, d](Node& o) {
     an->ensure_grad();
-    for (std::size_t i = 0; i < o.data.size(); ++i) {
-      an->grad[i] += d(an->data[i], o.data[i], o.grad[i]);
+    for (std::size_t i = 0; i < o.cdata().size(); ++i) {
+      an->grad[i] += d(an->cdata()[i], o.cdata()[i], o.grad[i]);
     }
   });
 }

@@ -173,12 +173,12 @@ Tensor softmax(const Tensor& a, std::size_t axis) {
             for (std::int64_t l = 0; l < v.len; ++l) {
               const auto idx = static_cast<std::size_t>(
                   (ou * v.len + l) * v.inner + i);
-              dot += o.grad[idx] * o.data[idx];
+              dot += o.grad[idx] * o.cdata()[idx];
             }
             for (std::int64_t l = 0; l < v.len; ++l) {
               const auto idx = static_cast<std::size_t>(
                   (ou * v.len + l) * v.inner + i);
-              an->grad[idx] += o.data[idx] * (o.grad[idx] - dot);
+              an->grad[idx] += o.cdata()[idx] * (o.grad[idx] - dot);
             }
           }
         }

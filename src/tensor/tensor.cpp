@@ -38,7 +38,7 @@ std::string shape_to_string(const Shape& shape) {
 }
 
 std::vector<float>& Node::ensure_grad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  if (grad.size() != storage->size()) grad.assign(storage->size(), 0.0f);
   return grad;
 }
 
@@ -48,7 +48,7 @@ std::shared_ptr<Node> make_leaf(Shape shape, std::vector<float> data,
   FMNET_CHECK_EQ(static_cast<std::int64_t>(data.size()), numel(shape));
   auto n = std::make_shared<Node>();
   n->shape = std::move(shape);
-  n->data = std::move(data);
+  n->storage = std::make_shared<std::vector<float>>(std::move(data));
   n->requires_grad = requires_grad;
   return n;
 }
@@ -105,12 +105,12 @@ std::int64_t Tensor::numel() const { return tensor::numel(shape()); }
 
 std::vector<float>& Tensor::data() {
   FMNET_CHECK(defined(), "data() on undefined tensor");
-  return node_->data;
+  return node_->data_mut();
 }
 
 const std::vector<float>& Tensor::data() const {
   FMNET_CHECK(defined(), "data() on undefined tensor");
-  return node_->data;
+  return node_->cdata();
 }
 
 const std::vector<float>& Tensor::grad() const {
@@ -171,6 +171,16 @@ void Tensor::backward() {
     }
   }
 
+  // Interior (op-result) grads are scratch space for this sweep: reset
+  // them so a second backward() on a reused graph starts clean instead of
+  // double-counting stale upstream grads. Leaf grads keep accumulating
+  // across calls (torch semantics).
+  for (Node* n : order) {
+    if (n->backward_fn && !n->grad.empty()) {
+      std::fill(n->grad.begin(), n->grad.end(), 0.0f);
+    }
+  }
+
   node_->ensure_grad();
   node_->grad[0] += 1.0f;
   // order is post-order (children first); walk it from the back so each
@@ -191,7 +201,10 @@ void Tensor::zero_grad() {
 
 Tensor Tensor::detach() const {
   FMNET_CHECK(defined(), "detach() on undefined tensor");
-  return from_vector(node_->data, node_->shape, /*requires_grad=*/false);
+  auto n = std::make_shared<Node>();
+  n->shape = node_->shape;
+  n->storage = node_->storage;  // aliased; unshared lazily on first write
+  return Tensor(std::move(n));
 }
 
 Tensor make_op_result(Shape shape, std::vector<float> data,
@@ -200,7 +213,7 @@ Tensor make_op_result(Shape shape, std::vector<float> data,
   FMNET_CHECK_EQ(static_cast<std::int64_t>(data.size()), numel(shape));
   auto n = std::make_shared<Node>();
   n->shape = std::move(shape);
-  n->data = std::move(data);
+  n->storage = std::make_shared<std::vector<float>>(std::move(data));
   for (const Tensor& in : inputs) {
     FMNET_CHECK(in.defined(), "op input tensor is undefined");
     n->parents.push_back(in.node());

@@ -95,14 +95,18 @@ class Tensor {
   bool requires_grad() const;
 
   /// Runs reverse-mode accumulation from this scalar tensor. Gradients
-  /// accumulate (+=) into every reachable node with requires_grad.
+  /// accumulate (+=) into every reachable *leaf* with requires_grad; the
+  /// grads of interior (op-result) nodes are zeroed at entry, so calling
+  /// backward() twice on a reused graph accumulates leaf grads exactly
+  /// twice instead of double-counting through stale interior grads.
   void backward();
 
   /// Clears this node's gradient buffer (used by optimisers).
   void zero_grad();
 
-  /// Detaches from the graph: returns a tensor sharing *copied* data with
-  /// no parents and no grad requirement.
+  /// Detaches from the graph: returns a tensor that *shares* this node's
+  /// storage (copy-on-write — a later in-place mutation of either side
+  /// clones first) but has no parents and no grad requirement.
   Tensor detach() const;
 
   // ---- internals (used by op implementations) ----------------------------
@@ -116,15 +120,31 @@ class Tensor {
 
 /// Autograd node. Public so free-function ops (ops.cpp etc.) can build the
 /// graph; user code should stick to the Tensor API.
+///
+/// Storage is held behind a shared_ptr so detach() can alias it without a
+/// deep copy; access it through cdata() (read) or data_mut() (write, which
+/// clones first if another node still shares the buffer — copy-on-write).
 struct Node {
   Shape shape;
-  std::vector<float> data;
+  std::shared_ptr<std::vector<float>> storage;
   std::vector<float> grad;  // lazily sized on first accumulation
   bool requires_grad = false;
   std::vector<std::shared_ptr<Node>> parents;
   /// Propagates the output node's grad (passed by reference to avoid a
   /// closure->self shared_ptr cycle) into parents' grads.
   std::function<void(Node& out)> backward_fn;
+
+  /// Read-only view of the flat element buffer.
+  const std::vector<float>& cdata() const { return *storage; }
+
+  /// Mutable element buffer; unshares (clones) first when a detached
+  /// sibling still aliases the same storage.
+  std::vector<float>& data_mut() {
+    if (storage.use_count() > 1) {
+      storage = std::make_shared<std::vector<float>>(*storage);
+    }
+    return *storage;
+  }
 
   /// Ensures grad is allocated (zero-filled) and returns it.
   std::vector<float>& ensure_grad();

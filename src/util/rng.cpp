@@ -130,4 +130,14 @@ std::size_t Rng::discrete(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  // stream+1 Weyl steps past `seed`, then one finalizer pass: streams 0, 1,
+  // 2, ... land on well-separated SplitMix64 outputs, and stream 0 differs
+  // from Rng(seed)'s own internal state sequence.
+  std::uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace fmnet

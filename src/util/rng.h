@@ -60,4 +60,12 @@ class Rng {
   double spare_normal_ = 0.0;
 };
 
+/// Derives the seed for stream `stream` of a family of independent Rng
+/// streams rooted at `seed` (SplitMix64 finalizer over seed + stream+1
+/// Weyl increments). Used by parallel pipeline stages to give every shard
+/// its own statistically independent generator that depends only on the
+/// master seed and the shard index — never on the thread count — so
+/// results are bit-for-bit reproducible under any FMNET_THREADS.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace fmnet

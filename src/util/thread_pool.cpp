@@ -1,0 +1,158 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace fmnet::util {
+
+namespace {
+// True while the current thread is executing inside a parallel region;
+// nested regions detect this and run inline instead of deadlocking on the
+// queue (and so that lane ids stay exclusive to one region at a time).
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
+// Shared state of one parallel_for region. Lifetime: owned by shared_ptr
+// copies in every queued helper task, so a task that only starts after the
+// caller returned (possible when another lane drained all indices first)
+// still touches valid memory; it then claims an index >= end and exits
+// without dereferencing `body`.
+struct ThreadPool::ForState {
+  std::atomic<std::int64_t> next{0};
+  std::int64_t end = 0;
+  const std::function<void(std::size_t, std::int64_t)>* body = nullptr;
+  // Lanes currently inside run_lane. Incremented before any index can be
+  // claimed (seq_cst), so once a waiter observes next >= end &&
+  // in_flight == 0, no body call is running or can ever start.
+  std::atomic<std::int64_t> in_flight{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  void run_lane(std::size_t lane) {
+    in_flight.fetch_add(1);
+    for (;;) {
+      const std::int64_t i = next.fetch_add(1);
+      if (i >= end) break;
+      try {
+        (*body)(lane, i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!error) error = std::current_exception();
+        }
+        next.store(end);  // abandon unclaimed indices
+      }
+    }
+    if (in_flight.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu);  // pairs with waiter
+      done_cv.notify_all();
+    }
+  }
+
+  bool finished() const {
+    return next.load() >= end && in_flight.load() == 0;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    t_in_pool_task = true;
+    task();
+    t_in_pool_task = false;
+  }
+}
+
+void ThreadPool::parallel_for_lane(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::size_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  const std::int64_t n = end - begin;
+  const std::function<void(std::size_t, std::int64_t)> shifted =
+      [&body, begin](std::size_t lane, std::int64_t i) {
+        body(lane, begin + i);
+      };
+
+  // Inline when there is nothing to fan out to, or when nested inside
+  // another region: lane 0 is then the caller's exclusive lane.
+  if (num_threads_ == 1 || n == 1 || t_in_pool_task) {
+    for (std::int64_t i = 0; i < n; ++i) shifted(0, i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->end = n;
+  state->body = &shifted;
+
+  const std::size_t helpers =
+      std::min<std::size_t>(workers_.size(), static_cast<std::size_t>(n - 1));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back([state, lane = h + 1] { state->run_lane(lane); });
+    }
+  }
+  task_ready_.notify_all();
+
+  // The caller participates as lane 0 (marked as in-region so nested
+  // parallel calls inline), then waits for straggler lanes.
+  t_in_pool_task = true;
+  state->run_lane(0);
+  t_in_pool_task = false;
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] { return state->finished(); });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t)>& body) {
+  parallel_for_lane(begin, end,
+                    [&body](std::size_t, std::int64_t i) { body(i); });
+}
+
+std::size_t ThreadPool::configured_threads() {
+  const char* env = std::getenv("FMNET_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+}  // namespace fmnet::util

@@ -1,0 +1,160 @@
+// Bit-for-bit reproducibility of every parallelised pipeline stage: the
+// same config must produce identical output whether it runs on 1 lane or
+// 8. This is the contract documented in util/thread_pool.h — work is
+// decomposed independently of the thread count, results land in per-index
+// slots, reductions happen in index order, and per-task randomness comes
+// from derived per-index streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "impute/cem.h"
+#include "impute/transformer_imputer.h"
+#include "telemetry/dataset.h"
+#include "telemetry/monitors.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fmnet {
+namespace {
+
+core::CampaignConfig small_campaign_config() {
+  core::CampaignConfig cfg;
+  cfg.num_ports = 2;
+  cfg.buffer_size = 200;
+  cfg.slots_per_ms = 10;
+  cfg.total_ms = 400;
+  cfg.seed = 5;
+  cfg.shard_ms = 100;
+  return cfg;
+}
+
+TEST(Determinism, CampaignIdenticalAcrossThreadCounts) {
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  const auto a = core::run_campaign(small_campaign_config(), &one);
+  const auto b = core::run_campaign(small_campaign_config(), &eight);
+  EXPECT_EQ(a.gt.queue_len, b.gt.queue_len);
+  EXPECT_EQ(a.gt.queue_len_max, b.gt.queue_len_max);
+  EXPECT_EQ(a.gt.port_sent, b.gt.port_sent);
+  EXPECT_EQ(a.gt.port_dropped, b.gt.port_dropped);
+  EXPECT_EQ(a.gt.port_received, b.gt.port_received);
+}
+
+TEST(Determinism, CampaignShardRemainderHandled) {
+  // total_ms not a multiple of shard_ms: the last shard takes the
+  // remainder and the concatenated length is exact.
+  auto cfg = small_campaign_config();
+  cfg.total_ms = 250;
+  util::ThreadPool eight(8);
+  const auto r = core::run_campaign(cfg, &eight);
+  EXPECT_EQ(r.gt.num_ms(), 250u);
+}
+
+impute::CemConstraints multi_window_constraints(std::int64_t windows,
+                                                std::int64_t factor) {
+  impute::CemConstraints c;
+  c.coarse_factor = factor;
+  for (std::int64_t w = 0; w < windows; ++w) {
+    c.window_max.push_back(12);
+    c.port_sent.push_back(factor / 2);
+    c.sample_idx.push_back(w * factor);
+    c.sample_val.push_back(3);
+  }
+  return c;
+}
+
+TEST(Determinism, CemCorrectionIdenticalAcrossThreadCounts) {
+  const std::int64_t windows = 12;
+  const std::int64_t factor = 10;
+  const auto c = multi_window_constraints(windows, factor);
+  Rng rng(17);
+  std::vector<double> imputed(static_cast<std::size_t>(windows * factor));
+  for (auto& v : imputed) v = rng.uniform(0.0, 20.0);
+
+  for (const auto engine : {impute::CemEngine::kFastRepair,
+                            impute::CemEngine::kSmtBranchAndBound}) {
+    impute::CemConfig cfg;
+    cfg.engine = engine;
+    impute::ConstraintEnforcementModule cem(cfg);
+    util::ThreadPool one(1);
+    util::ThreadPool eight(8);
+    const auto a = cem.correct(imputed, c, &one);
+    const auto b = cem.correct(imputed, c, &eight);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.objective, b.objective);
+    EXPECT_EQ(a.corrected, b.corrected);
+  }
+}
+
+TEST(Determinism, CemPortCorrectionIdenticalAcrossThreadCounts) {
+  const std::int64_t windows = 8;
+  const std::int64_t factor = 6;
+  const auto c = multi_window_constraints(windows, factor);
+  Rng rng(23);
+  std::vector<std::vector<double>> imputed(
+      2, std::vector<double>(static_cast<std::size_t>(windows * factor)));
+  for (auto& q : imputed) {
+    for (auto& v : q) v = rng.uniform(0.0, 20.0);
+  }
+  impute::ConstraintEnforcementModule cem;
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  const auto a = cem.correct_port(imputed, {c, c}, &one);
+  const auto b = cem.correct_port(imputed, {c, c}, &eight);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.corrected, b.corrected);
+}
+
+TEST(Determinism, TrainingIdenticalAcrossThreadCounts) {
+  // Full training run — shuffling, dropout, KAL multiplier updates,
+  // gradient reduction, Adam — must yield bit-identical weights whether
+  // the micro-shards of each batch run on 1 lane or 8.
+  auto ccfg = small_campaign_config();
+  const auto campaign = core::run_campaign(ccfg);
+  const auto gt = telemetry::trim_to_multiple(campaign.gt, 50);
+  const auto ct = telemetry::sample_telemetry(gt, 50);
+  telemetry::DatasetConfig dcfg;
+  dcfg.window_ms = 100;
+  dcfg.factor = 50;
+  dcfg.qlen_scale = 200.0;
+  dcfg.count_scale = 500.0;
+  const auto examples = telemetry::build_examples(
+      gt, ct, dcfg, campaign.switch_config.queues_per_port);
+  ASSERT_GT(examples.size(), 8u);
+
+  nn::TransformerConfig mcfg;
+  mcfg.input_channels = telemetry::kNumInputChannels;
+  mcfg.d_model = 8;
+  mcfg.num_heads = 2;
+  mcfg.num_layers = 1;
+  mcfg.d_ff = 16;
+  mcfg.max_seq_len = 128;
+  mcfg.dropout = 0.1f;  // exercise the per-shard dropout streams
+  impute::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.seed = 7;
+  tcfg.use_kal = true;
+
+  impute::TransformerImputer imp_one(mcfg, tcfg);
+  impute::TransformerImputer imp_eight(mcfg, tcfg);
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  const auto stats_one = imp_one.train(examples, &one);
+  const auto stats_eight = imp_eight.train(examples, &eight);
+
+  EXPECT_EQ(stats_one.epoch_loss, stats_eight.epoch_loss);
+  EXPECT_EQ(stats_one.final_mean_phi, stats_eight.final_mean_phi);
+  EXPECT_EQ(stats_one.final_mean_psi, stats_eight.final_mean_psi);
+  const auto pa = imp_one.model().parameters();
+  const auto pb = imp_eight.model().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    EXPECT_EQ(pa[p].data(), pb[p].data()) << "parameter " << p;
+  }
+}
+
+}  // namespace
+}  // namespace fmnet

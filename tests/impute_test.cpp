@@ -119,19 +119,18 @@ TEST(Cem, EnforcesSampleValues) {
   EXPECT_EQ(r.objective, 0);
 }
 
-TEST(Cem, RaisesCheapestStepToAttainMax) {
+TEST(Cem, LeavesUnderMaxWindowUntouched) {
   CemConstraints c = toy_cem(4);
   c.window_max = {10};
   c.port_sent = {4};
   ConstraintEnforcementModule cem;
-  // Raising t=2 (value 7) to 10 costs 3 — cheapest.
+  // C1 is an upper bound: a window whose peak (7) stays under the LANZ
+  // report (10) is already legal — the true slot-level peak may fall
+  // between ms samples — so nothing may change.
   const auto r = cem.correct({1, 4, 7, 2}, c);
   ASSERT_TRUE(r.feasible);
-  EXPECT_EQ(r.objective, 3);
-  EXPECT_DOUBLE_EQ(r.corrected[2], 10.0);
-  double mx = 0;
-  for (const double v : r.corrected) mx = std::max(mx, v);
-  EXPECT_DOUBLE_EQ(mx, 10.0);
+  EXPECT_EQ(r.objective, 0);
+  EXPECT_EQ(r.corrected, (std::vector<double>{1, 4, 7, 2}));
 }
 
 TEST(Cem, ClampsAboveMax) {
@@ -227,11 +226,13 @@ TEST(Cem, MultiWindowIndependence) {
   ConstraintEnforcementModule cem;
   const auto r = cem.correct({1, 2, 3, 1, 1, 1}, c);
   ASSERT_TRUE(r.feasible);
-  // Window 1 forced all-zero, window 0 raised to 4 somewhere.
+  // Window 1 forced all-zero; window 0 already under its max of 4 and so
+  // untouched.
   for (std::size_t t = 3; t < 6; ++t) EXPECT_DOUBLE_EQ(r.corrected[t], 0.0);
-  double mx = 0;
-  for (std::size_t t = 0; t < 3; ++t) mx = std::max(mx, r.corrected[t]);
-  EXPECT_DOUBLE_EQ(mx, 4.0);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(r.corrected[t], static_cast<double>(t + 1));
+  }
+  EXPECT_EQ(r.objective, 3);
 }
 
 TEST(Cem, GroundTruthIsFixedPoint) {
@@ -355,8 +356,8 @@ TEST(CemPort, JointCorrectionEnforcesDisjunctionC3) {
     max1 = std::max(max1, joint.corrected[1][t]);
   }
   EXPECT_LE(union_ne, 2);
-  EXPECT_DOUBLE_EQ(max0, 5.0);  // C1 still attained per queue
-  EXPECT_DOUBLE_EQ(max1, 5.0);
+  EXPECT_LE(max0, 5.0);  // C1 upper bound still holds per queue
+  EXPECT_LE(max1, 5.0);
 }
 
 TEST(CemPort, SingleQueueJointMatchesPerQueueOptimum) {
@@ -374,9 +375,10 @@ TEST(CemPort, SingleQueueJointMatchesPerQueueOptimum) {
   EXPECT_EQ(single.objective, joint.objective);
 }
 
-TEST(CemPort, SharedStepsAreCheapestUnderJointBudget) {
-  // With budget 1, placing both queues' mass on the SAME step is optimal
-  // for the disjunction count — the joint solver should discover that.
+TEST(CemPort, JointBudgetZeroesCheaperQueue) {
+  // With a joint budget of 1 non-empty step and C1 as an upper bound, the
+  // cheapest repair empties one queue's single burst (cost 4) rather than
+  // relocating its mass onto the survivor's step (cost 8).
   CemConstraints q0 = toy_cem(3);
   q0.window_max = {4};
   q0.port_sent = {1};
@@ -389,13 +391,7 @@ TEST(CemPort, SharedStepsAreCheapestUnderJointBudget) {
     if (joint.corrected[0][t] > 0 || joint.corrected[1][t] > 0) ++union_ne;
   }
   EXPECT_EQ(union_ne, 1);
-  // Both maxima attained on the one allowed step.
-  double best = 0;
-  for (std::size_t t = 0; t < 3; ++t) {
-    best = std::max(best,
-                    std::min(joint.corrected[0][t], joint.corrected[1][t]));
-  }
-  EXPECT_DOUBLE_EQ(best, 4.0);
+  EXPECT_EQ(joint.objective, 4);
 }
 
 // ---------------------------------------------------------------------------

@@ -337,10 +337,18 @@ TEST(Kal, ZeroPenaltyWhenConstraintsHold) {
 }
 
 TEST(Kal, PhiDetectsMaxAndSampleViolations) {
-  // Window max is 2 (should be 3) and sample at t=0 is 0 (should be 1).
-  const Tensor pred = Tensor::from_vector({0, 2, 2, 1, 0, 0, 0, 0}, {8}, true);
-  const auto terms = kal_penalty(pred, tiny_constraints(), 0.0f, 0.0f, 1.0f);
-  EXPECT_NEAR(terms.phi, 2.0f, 1e-5);  // |2-3| + |0-1|
+  // Sample at t=0 is 0 (should be 1); the window max of 2 stays under the
+  // LANZ budget of 3, which C1 — an upper bound — does not penalise.
+  const Tensor under =
+      Tensor::from_vector({0, 2, 2, 1, 0, 0, 0, 0}, {8}, true);
+  const auto t_under =
+      kal_penalty(under, tiny_constraints(), 0.0f, 0.0f, 1.0f);
+  EXPECT_NEAR(t_under.phi, 1.0f, 1e-5);  // |0-1| only
+  // Exceeding the budget (max 5 vs 3) is what C1 penalises.
+  const Tensor over =
+      Tensor::from_vector({1, 5, 2, 1, 0, 0, 0, 0}, {8}, true);
+  const auto t_over = kal_penalty(over, tiny_constraints(), 0.0f, 0.0f, 1.0f);
+  EXPECT_NEAR(t_over.phi, 2.0f, 1e-5);  // relu(5-3)
 }
 
 TEST(Kal, PsiDetectsWorkConservationViolation) {

@@ -70,12 +70,16 @@ TEST(Consistency, NormalisedViolations) {
   c.sample_idx = {0};
   c.sample_val = {2.0f};
   ConsistencyAccumulator acc;
-  // max is 2 (|2-4|=2 over norm 4 = 0.5); sample err 1 over norm
+  // max is 5 (relu(5-4)=1 over norm 4 = 0.25); sample err 1 over norm
   // max(sample 2, interval max 4) = 4; NE = 4 > 2 (violation 2 over 2).
-  acc.add({1, 2, 1, 1}, c);
-  EXPECT_NEAR(acc.max_error(), 0.5, 1e-9);
+  acc.add({1, 5, 1, 1}, c);
+  EXPECT_NEAR(acc.max_error(), 0.25, 1e-9);
   EXPECT_NEAR(acc.periodic_error(), 0.25, 1e-9);
   EXPECT_NEAR(acc.sent_error(), 1.0, 1e-9);
+  // C1 is an upper bound: staying below the LANZ max is not a violation.
+  ConsistencyAccumulator under;
+  under.add({1, 2, 1, 1}, c);
+  EXPECT_NEAR(under.max_error(), 0.0, 1e-9);
 }
 
 TEST(Consistency, AccumulatesAcrossWindows) {
@@ -84,8 +88,9 @@ TEST(Consistency, AccumulatesAcrossWindows) {
   c.window_max = {2.0f, 4.0f};
   c.port_sent = {2.0f, 2.0f};
   ConsistencyAccumulator acc;
-  acc.add({2, 0, 0, 0}, c);  // window1 max 0 vs 4 -> violation 4, norm 6
-  EXPECT_NEAR(acc.max_error(), 4.0 / 6.0, 1e-9);
+  // relu(3-2) + relu(6-4) = 3 over norm 2 + 4 = 6.
+  acc.add({3, 0, 6, 0}, c);
+  EXPECT_NEAR(acc.max_error(), 3.0 / 6.0, 1e-9);
 }
 
 TEST(BurstMetricsTest, PerfectImputationZeroErrors) {

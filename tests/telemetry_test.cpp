@@ -18,7 +18,9 @@ switchsim::GroundTruth tiny_ground_truth() {
   switchsim::GroundTruth gt;
   gt.slots_per_ms = 4;
   gt.queue_len = {fmnet::TimeSeries({1, 5, 0, 2}, 1.0)};
-  gt.queue_len_max = {fmnet::TimeSeries({3, 5, 1, 2}, 1.0)};
+  // Slot-level maxima exceed the end-of-ms instants in ms 0 and ms 1:
+  // bursts that drained before the ms boundary.
+  gt.queue_len_max = {fmnet::TimeSeries({3, 7, 1, 2}, 1.0)};
   gt.port_sent = {fmnet::TimeSeries({4, 4, 2, 3}, 1.0)};
   gt.port_dropped = {fmnet::TimeSeries({0, 1, 0, 0}, 1.0)};
   gt.port_received = {fmnet::TimeSeries({5, 6, 1, 3}, 1.0)};
@@ -31,8 +33,10 @@ TEST(Monitors, SamplingSemantics) {
   EXPECT_EQ(ct.num_intervals(), 2u);
   // Periodic: instantaneous at interval start (fine indices 0 and 2).
   EXPECT_EQ(ct.periodic_qlen[0].values(), (std::vector<double>{1, 0}));
-  // LANZ: max of the fine end-of-ms series within the interval.
-  EXPECT_EQ(ct.max_qlen[0].values(), (std::vector<double>{5, 2}));
+  // LANZ: max of the slot-level per-ms maxima within the interval — NOT
+  // of the end-of-ms instants, which would under-report the mid-ms burst
+  // of 7 in ms 1 as a 5.
+  EXPECT_EQ(ct.max_qlen[0].values(), (std::vector<double>{7, 2}));
   // SNMP: sums.
   EXPECT_EQ(ct.snmp_sent[0].values(), (std::vector<double>{8, 5}));
   EXPECT_EQ(ct.snmp_dropped[0].values(), (std::vector<double>{1, 0}));
@@ -57,16 +61,41 @@ TEST(Monitors, GroundTruthSatisfiesC1C2OnCampaign) {
   const CoarseTelemetry ct = sample_telemetry(gt, 50);
   for (std::size_t q = 0; q < gt.queue_len.size(); ++q) {
     for (std::size_t w = 0; w < ct.num_intervals(); ++w) {
-      // C1: interval max of fine series equals LANZ report.
+      // C1 (upper bound): the fine end-of-ms series never exceeds the
+      // LANZ report, which aggregates the slot-level per-ms maxima.
       double wmax = 0;
+      double slot_max = 0;
       for (std::size_t t = w * 50; t < (w + 1) * 50; ++t) {
         wmax = std::max(wmax, gt.queue_len[q][t]);
+        slot_max = std::max(slot_max, gt.queue_len_max[q][t]);
       }
-      ASSERT_EQ(wmax, ct.max_qlen[q][w]);
+      ASSERT_LE(wmax, ct.max_qlen[q][w]);
+      ASSERT_EQ(slot_max, ct.max_qlen[q][w]);
       // C2: periodic sample matches the fine series at interval start.
       ASSERT_EQ(gt.queue_len[q][w * 50], ct.periodic_qlen[q][w]);
     }
   }
+}
+
+TEST(Monitors, LanzSeesMidMsBurstsOnCampaign) {
+  // Regression for the max-telemetry under-reporting bug: sampling the
+  // end-of-ms instants misses bursts that build and drain within one ms.
+  // On a real campaign at least one window's slot-level max must strictly
+  // exceed the ms-series max, so the two definitions are distinguishable.
+  const auto campaign = fmnet::testing::run_small_campaign(3, 400);
+  const auto gt = trim_to_multiple(campaign.gt, 50);
+  const CoarseTelemetry ct = sample_telemetry(gt, 50);
+  bool strictly_above = false;
+  for (std::size_t q = 0; q < gt.queue_len.size(); ++q) {
+    for (std::size_t w = 0; w < ct.num_intervals(); ++w) {
+      double ms_max = 0;
+      for (std::size_t t = w * 50; t < (w + 1) * 50; ++t) {
+        ms_max = std::max(ms_max, gt.queue_len[q][t]);
+      }
+      strictly_above = strictly_above || ct.max_qlen[q][w] > ms_max;
+    }
+  }
+  EXPECT_TRUE(strictly_above);
 }
 
 TEST(Monitors, GroundTruthSatisfiesC3WorkConservation) {

@@ -183,6 +183,18 @@ TEST(Autograd, DiamondGraphAccumulates) {
   EXPECT_EQ(a.grad(), (std::vector<float>{5, 7}));
 }
 
+TEST(Autograd, RepeatedBackwardZeroesInteriorGrads) {
+  // Backpropagating twice through a shared interior node must not reuse
+  // its stale gradient buffer (which would double-count every pass).
+  // Leaves accumulate across calls, as in torch: 2 + 2 = 4.
+  const Tensor a = Tensor::from_vector({1, 2}, {2}, true);
+  const Tensor b = mul_scalar(a, 2.0f);
+  sum(b).backward();
+  EXPECT_EQ(a.grad(), (std::vector<float>{2, 2}));
+  sum(b).backward();
+  EXPECT_EQ(a.grad(), (std::vector<float>{4, 4}));
+}
+
 TEST(Autograd, ChainedGraphReleasedAfterBackward) {
   const Tensor a = Tensor::ones({4}, true);
   Tensor x = a;

@@ -251,6 +251,23 @@ TEST(Tensor, DetachDropsGraph) {
   const Tensor d = b.detach();
   EXPECT_FALSE(d.requires_grad());
   EXPECT_EQ(d.data(), b.data());
+  // The detached node must not retain the autograd graph: no parents, no
+  // backward function — otherwise detaching would leak the whole tape.
+  EXPECT_TRUE(d.node()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(d.node()->backward_fn));
+}
+
+TEST(Tensor, DetachSharesStorageCopyOnWrite) {
+  const Tensor b = mul_scalar(Tensor::ones({2}, true), 2.0f);
+  Tensor d = b.detach();
+  // No deep copy at detach time: both handles alias one buffer.
+  EXPECT_EQ(d.node()->storage.get(), b.node()->storage.get());
+  // The first write through either handle unshares, so the source never
+  // observes mutations of its detached copy.
+  d.data()[0] = 99.0f;
+  EXPECT_NE(d.node()->storage.get(), b.node()->storage.get());
+  EXPECT_EQ(d.data()[0], 99.0f);
+  EXPECT_EQ(b.data()[0], 2.0f);
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <atomic>
+#include <numeric>
+#include <vector>
+
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -14,6 +18,7 @@
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/time_series.h"
 
 namespace fmnet {
@@ -128,6 +133,15 @@ TEST(Rng, ForkIndependent) {
   Rng a(99);
   Rng child = a.fork();
   EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, DeriveStreamSeedIsPureAndDistinct) {
+  // Same (seed, stream) -> same value; nearby streams decorrelate.
+  EXPECT_EQ(derive_stream_seed(42, 0), derive_stream_seed(42, 0));
+  EXPECT_NE(derive_stream_seed(42, 0), derive_stream_seed(42, 1));
+  EXPECT_NE(derive_stream_seed(42, 0), derive_stream_seed(43, 0));
+  // Stream 0 must not collapse to the base seed (the +1 in the mix).
+  EXPECT_NE(derive_stream_seed(7, 0), 7u);
 }
 
 TEST(TimeSeries, DownsampleInstantTakesFirstOfWindow) {
@@ -248,6 +262,60 @@ TEST(Stopwatch, MeasuresForwardTime) {
   EXPECT_GE(sw.elapsed_seconds(), 0.0);
   sw.reset();
   EXPECT_LT(sw.elapsed_ms(), 1000.0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool pool(lanes);
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for(0, 1000, [&](std::int64_t i) {
+      ++hits[static_cast<std::size_t>(i)];
+    });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ShardedReduceMatchesSerial) {
+  util::ThreadPool pool(4);
+  const auto squares = util::parallel_map<std::int64_t>(
+      pool, 100, [](std::int64_t i) { return i * i; });
+  const std::int64_t total =
+      std::accumulate(squares.begin(), squares.end(), std::int64_t{0});
+  EXPECT_EQ(total, 99 * 100 * 199 / 6);
+}
+
+TEST(ThreadPool, LaneIdsAreExclusiveAndInRange) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> occupancy(3);
+  std::atomic<bool> ok{true};
+  pool.parallel_for_lane(0, 64, [&](std::size_t lane, std::int64_t) {
+    if (lane >= 3) ok = false;
+    if (occupancy[lane].fetch_add(1) != 0) ok = false;  // exclusive
+    occupancy[lane].fetch_sub(1);
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::int64_t i) {
+                                   if (i == 37) FMNET_CHECK(false, "inner");
+                                 }),
+               CheckError);
+  // The pool must survive an aborted region and run the next one.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedRegionsExecuteInline) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::int64_t) {
+    pool.parallel_for(0, 8, [&](std::int64_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 64);
 }
 
 }  // namespace
