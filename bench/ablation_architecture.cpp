@@ -20,6 +20,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header(
       "Architecture ablation — MLP vs BiGRU vs Transformer vs RateNet");
 

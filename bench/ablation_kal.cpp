@@ -16,6 +16,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Ablation — KAL penalty weight and CEM interaction");
 
   const core::Campaign campaign =

@@ -16,6 +16,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Ablation — EMD vs MSE training loss (paper §4)");
 
   const core::Campaign campaign =

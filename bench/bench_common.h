@@ -10,10 +10,23 @@
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "impute/transformer_imputer.h"
+#include "obs/export.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace fmnet::bench {
+
+/// Declared first in main so its destructor runs last: exports the run's
+/// metrics (FMNET_METRICS=<path> JSON, FMNET_METRICS_TABLE=1 stderr table)
+/// after the bench finishes. Every bench emits the same
+/// "fmnet.metrics.v1" schema, so CI can archive BENCH_*.json artifacts
+/// uniformly.
+struct ScopedMetricsDump {
+  ScopedMetricsDump() = default;
+  ScopedMetricsDump(const ScopedMetricsDump&) = delete;
+  ScopedMetricsDump& operator=(const ScopedMetricsDump&) = delete;
+  ~ScopedMetricsDump() { obs::finalize(); }
+};
 
 /// Integer environment override (FMNET_EPOCHS, FMNET_TOTAL_MS) so bench
 /// scale can be tuned without rebuilding; falls back to `fallback`.

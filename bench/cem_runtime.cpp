@@ -17,6 +17,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header("CEM correction runtime per 50 ms interval");
 
   const core::Campaign campaign =

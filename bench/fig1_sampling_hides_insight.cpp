@@ -18,6 +18,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header(
       "Figure 1 — coarse sampling hides incidents; series are correlated");
 

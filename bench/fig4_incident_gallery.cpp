@@ -18,6 +18,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Figure 4 — one incident, four imputation methods");
 
   const core::Campaign campaign =

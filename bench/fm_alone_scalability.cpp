@@ -20,6 +20,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header(
       "FM-alone scalability (paper §2.3) vs CEM on the same window");
 

@@ -15,6 +15,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Granularity sweep — imputation factor 10x/25x/50x");
 
   const core::Campaign campaign =

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/pipeline.h"
+#include "obs/export.h"
 #include "impute/cem.h"
 #include "nn/losses.h"
 #include "nn/transformer.h"
@@ -174,4 +175,14 @@ BENCHMARK(BM_EmdLoss);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a final metrics export, so CI's
+// bench-smoke job can archive the FMNET_METRICS JSON alongside the
+// google-benchmark output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fmnet::obs::finalize();
+  return 0;
+}

@@ -16,6 +16,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header(
       "Streaming imputation latency vs the 50 ms real-time budget");
 

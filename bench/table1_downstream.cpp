@@ -22,6 +22,7 @@
 using namespace fmnet;
 
 int main() {
+  bench::ScopedMetricsDump metrics_dump;
   bench::print_header(
       "Table 1 — downstream task errors of the four imputation methods");
 

@@ -18,6 +18,7 @@
 #include "core/pipeline.h"
 #include "impute/knowledge_imputer.h"
 #include "impute/transformer_imputer.h"
+#include "obs/export.h"
 #include "util/stats.h"
 
 using namespace fmnet;
@@ -105,5 +106,6 @@ int main() {
       "the imputed view is within %.0f%% of the ground-truth "
       "recommendation.\n",
       coarse_gap, imputed_gap);
+  obs::finalize();
   return 0;
 }

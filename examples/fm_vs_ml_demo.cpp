@@ -14,6 +14,7 @@
 #include "impute/fm_model.h"
 #include "impute/transformer_imputer.h"
 #include "nn/kal.h"
+#include "obs/export.h"
 #include "util/rng.h"
 
 using namespace fmnet;
@@ -98,5 +99,6 @@ int main() {
       v.max_violation, v.periodic_violation, v.sent_violation);
   std::printf("  -> the hybrid is both scalable and provably consistent "
               "with every measurement.\n");
+  obs::finalize();
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "core/pipeline.h"
 #include "impute/knowledge_imputer.h"
 #include "impute/transformer_imputer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 
 #include <iostream>
@@ -154,16 +156,34 @@ void usage() {
       stderr,
       "usage: fmnet_cli <simulate|evaluate|impute> [--seed N] [--ports N]\n"
       "                 [--buffer N] [--slots-per-ms N] [--ms N]\n"
-      "                 [--epochs N] [--kal 0|1] [--queue N] [--out PATH]\n");
+      "                 [--epochs N] [--kal 0|1] [--queue N] [--out PATH]\n"
+      "                 [--metrics METRICS.json]\n"
+      "--metrics writes the run's observability snapshot (stage spans,\n"
+      "CEM/SMT counters, thread-pool lane stats) as JSON; equivalent to\n"
+      "setting FMNET_METRICS=METRICS.json.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
-  if (args.command == "simulate") return cmd_simulate(args);
-  if (args.command == "evaluate") return cmd_evaluate(args);
-  if (args.command == "impute") return cmd_impute(args);
-  usage();
-  return args.command.empty() ? 1 : 2;
+  const std::string metrics_path = args.get_str("metrics", "");
+  if (!metrics_path.empty()) obs::set_sink_path(metrics_path);
+
+  int rc = 2;
+  if (args.command == "simulate") {
+    rc = cmd_simulate(args);
+  } else if (args.command == "evaluate") {
+    rc = cmd_evaluate(args);
+  } else if (args.command == "impute") {
+    rc = cmd_impute(args);
+  } else {
+    usage();
+    return args.command.empty() ? 1 : 2;
+  }
+
+  if (obs::finalize() && !metrics_path.empty()) {
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return rc;
 }

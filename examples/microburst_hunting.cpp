@@ -11,6 +11,7 @@
 #include "core/pipeline.h"
 #include "impute/knowledge_imputer.h"
 #include "impute/transformer_imputer.h"
+#include "obs/export.h"
 #include "tasks/bursts.h"
 
 using namespace fmnet;
@@ -127,5 +128,6 @@ int main() {
               pct(imputed_interval_hits));
   std::printf("spurious imputed microbursts (exact):   %zu\n",
               imputed_false);
+  obs::finalize();
   return 0;
 }

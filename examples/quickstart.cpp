@@ -15,6 +15,7 @@
 #include "impute/knowledge_imputer.h"
 #include "impute/transformer_imputer.h"
 #include "nn/kal.h"
+#include "obs/export.h"
 
 using namespace fmnet;
 
@@ -67,5 +68,9 @@ int main() {
       "violations: max %.2g, periodic %.2g, sent %.2g -> %s\n",
       fine.size(), example.queue, v.max_violation, v.periodic_violation,
       v.sent_violation, v.satisfied(1e-5) ? "CONSISTENT" : "violated");
+
+  // 6. With FMNET_METRICS=<path> set, export the run's observability
+  //    snapshot (stage spans, CEM/SMT counters, pool lane stats) as JSON.
+  obs::finalize();
   return 0;
 }

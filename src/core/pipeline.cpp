@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "traffic/sources.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -27,6 +29,15 @@ switchsim::GroundTruth run_single(const switchsim::SwitchConfig& sw_cfg,
     sw.step(arrivals);
     recorder.on_slot();
   }
+  // Bulk adds once per shard, not per slot, so the recorder loop stays
+  // untouched by observability.
+  auto& reg = obs::Registry::global();
+  static obs::Counter& shards = reg.counter("sim.shards");
+  static obs::Counter& sim_slots = reg.counter("sim.slots");
+  static obs::Counter& sim_ms = reg.counter("sim.ms");
+  shards.add(1);
+  sim_slots.add(slots);
+  sim_ms.add(total_ms);
   return recorder.finish();
 }
 
@@ -43,6 +54,7 @@ void append_series(std::vector<fmnet::TimeSeries>& into,
 }  // namespace
 
 Campaign run_campaign(const CampaignConfig& config, util::ThreadPool* pool) {
+  obs::ScopedSpan span("simulate");
   FMNET_CHECK_GT(config.total_ms, 0);
   switchsim::SwitchConfig sw_cfg;
   sw_cfg.num_ports = config.num_ports;
@@ -89,6 +101,7 @@ Campaign run_campaign(const CampaignConfig& config, util::ThreadPool* pool) {
 
 PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
                           std::size_t factor) {
+  obs::ScopedSpan span("prepare");
   PreparedData out;
   out.dataset_config.window_ms = window_ms;
   out.dataset_config.factor = factor;

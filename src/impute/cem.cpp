@@ -5,10 +5,31 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace fmnet::impute {
+
+namespace {
+// Window-repair accounting shared by correct() and correct_port().
+struct CemMetrics {
+  obs::Counter& windows;
+  obs::Counter& infeasible;
+  obs::Counter& packets_moved;
+  obs::Histogram& window_ms;
+  static CemMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static CemMetrics m{
+        reg.counter("cem.windows"), reg.counter("cem.infeasible_windows"),
+        reg.counter("cem.packets_moved"),
+        reg.histogram("cem.window_ms",
+                      {0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000})};
+    return m;
+  }
+};
+}  // namespace
 
 CemConstraints to_packet_constraints(const nn::ExampleConstraints& c,
                                      double qlen_scale) {
@@ -113,7 +134,11 @@ ConstraintEnforcementModule::correct_interval_smt(
   std::vector<smt::VarId> q;
   q.reserve(static_cast<std::size_t>(factor));
   for (std::int64_t t = 0; t < factor; ++t) {
-    q.push_back(model.new_int(0, m_max, "q" + std::to_string(t)));
+    // Appended, not `"q" + std::to_string(t)`: GCC 12 -Wrestrict
+    // false-positives (PR105651) on operator+(const char*, std::string&&).
+    std::string qname("q");
+    qname += std::to_string(t);
+    q.push_back(model.new_int(0, m_max, std::move(qname)));
   }
   // C2: sampled steps fixed.
   for (std::int64_t t = 0; t < factor; ++t) {
@@ -165,6 +190,8 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     const std::vector<std::vector<double>>& imputed,
     const std::vector<CemConstraints>& per_queue,
     util::ThreadPool* pool) const {
+  obs::ScopedSpan span("correct_port");
+  CemMetrics& metrics = CemMetrics::get();
   fmnet::Stopwatch clock;
   FMNET_CHECK(!imputed.empty(), "no queues");
   FMNET_CHECK_EQ(imputed.size(), per_queue.size());
@@ -203,10 +230,15 @@ PortCemResult ConstraintEnforcementModule::correct_port(
 
   util::ThreadPool::resolve(pool).parallel_for(0, windows, [&](std::int64_t
                                                                    w) {
+    const bool timed = obs::enabled();
+    fmnet::Stopwatch window_clock;
     WindowResult& wr = results[static_cast<std::size_t>(w)];
     wr.values.assign(nq,
                      std::vector<double>(static_cast<std::size_t>(factor)));
     const std::int64_t begin = w * factor;
+    auto record_time = [&] {
+      if (timed) metrics.window_ms.record(window_clock.elapsed_ms());
+    };
     auto clamp_fallback = [&] {
       wr.feasible = false;
       for (std::size_t q = 0; q < nq; ++q) {
@@ -215,6 +247,7 @@ PortCemResult ConstraintEnforcementModule::correct_port(
               0.0, imputed[q][static_cast<std::size_t>(begin + t)]);
         }
       }
+      record_time();
     };
 
     smt::Model model;
@@ -284,15 +317,20 @@ PortCemResult ConstraintEnforcementModule::correct_port(
             r.value(qv[q][static_cast<std::size_t>(t)]));
       }
     }
+    record_time();
   });
 
   PortCemResult out;
   out.corrected.assign(nq, std::vector<double>(
                                static_cast<std::size_t>(t_len), 0.0));
+  metrics.windows.add(windows);
   for (std::int64_t w = 0; w < windows; ++w) {
     const WindowResult& wr = results[static_cast<std::size_t>(w)];
     const std::int64_t begin = w * factor;
-    if (!wr.feasible) out.feasible = false;
+    if (!wr.feasible) {
+      out.feasible = false;
+      metrics.infeasible.add(1);
+    }
     if (wr.feasible) out.objective += wr.objective;
     for (std::size_t q = 0; q < nq; ++q) {
       for (std::int64_t t = 0; t < factor; ++t) {
@@ -302,12 +340,15 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     }
   }
   out.seconds = clock.elapsed_seconds();
+  metrics.packets_moved.add(out.objective);
   return out;
 }
 
 CemResult ConstraintEnforcementModule::correct(
     const std::vector<double>& imputed, const CemConstraints& c,
     util::ThreadPool* pool) const {
+  obs::ScopedSpan span("correct");
+  CemMetrics& metrics = CemMetrics::get();
   fmnet::Stopwatch clock;
   const std::int64_t factor = c.coarse_factor;
   FMNET_CHECK_GT(factor, 0);
@@ -337,6 +378,8 @@ CemResult ConstraintEnforcementModule::correct(
   std::vector<IntervalResult> results(static_cast<std::size_t>(windows));
   util::ThreadPool::resolve(pool).parallel_for(
       0, windows, [&](std::int64_t w) {
+        const bool timed = obs::enabled();
+        fmnet::Stopwatch window_clock;
         const auto begin = static_cast<std::size_t>(w * factor);
         const std::vector<double> window_in(
             imputed.begin() + static_cast<std::ptrdiff_t>(begin),
@@ -352,15 +395,18 @@ CemResult ConstraintEnforcementModule::correct(
                                         window_samples, factor)
                 : correct_interval_smt(window_in, m_max, m_out,
                                        window_samples, factor);
+        if (timed) metrics.window_ms.record(window_clock.elapsed_ms());
       });
 
   CemResult out;
   out.corrected.resize(static_cast<std::size_t>(t_len));
+  metrics.windows.add(windows);
   for (std::int64_t w = 0; w < windows; ++w) {
     const IntervalResult& r = results[static_cast<std::size_t>(w)];
     const auto begin = static_cast<std::size_t>(w * factor);
     if (!r.feasible) {
       out.feasible = false;
+      metrics.infeasible.add(1);
       // Leave this interval as the clamped input so callers still get a
       // usable series.
       for (std::int64_t t = 0; t < factor; ++t) {
@@ -376,6 +422,7 @@ CemResult ConstraintEnforcementModule::correct(
     }
   }
   out.seconds = clock.elapsed_seconds();
+  metrics.packets_moved.add(out.objective);
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "impute/knowledge_imputer.h"
 
+#include "obs/span.h"
 #include "util/check.h"
 
 namespace fmnet::impute {
@@ -13,6 +14,7 @@ KnowledgeAugmentedImputer::KnowledgeAugmentedImputer(
 
 std::vector<double> KnowledgeAugmentedImputer::impute(
     const ImputationExample& ex) {
+  obs::ScopedSpan span("impute");
   const std::vector<double> raw = base_->impute(ex);
   const CemConstraints c =
       to_packet_constraints(ex.constraints, ex.qlen_scale);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -72,6 +73,14 @@ StreamingOutput StreamingImputer::push(const CoarseIntervalUpdate& update) {
   out.fine.assign(full.end() - static_cast<std::ptrdiff_t>(factor_),
                   full.end());
   out.latency_seconds = clock.elapsed_seconds();
+  // The real-time budget is one coarse interval (50 ms at paper scale) —
+  // the histogram's bucket edges bracket it.
+  auto& reg = obs::Registry::global();
+  static obs::Counter& intervals = reg.counter("streaming.intervals");
+  static obs::Histogram& latency = reg.histogram(
+      "streaming.latency_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+  intervals.add(1);
+  latency.record(out.latency_seconds * 1e3);
   return out;
 }
 

@@ -6,8 +6,11 @@
 #include <numeric>
 
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "tensor/ops.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace fmnet::impute {
 
@@ -57,6 +60,15 @@ Tensor TransformerImputer::batch_targets(
 
 TrainStats TransformerImputer::train(
     const std::vector<ImputationExample>& examples, util::ThreadPool* pool) {
+  obs::ScopedSpan train_span("train");
+  auto& reg = obs::Registry::global();
+  static obs::Counter& epochs_done = reg.counter("train.epochs");
+  static obs::Counter& shards_done = reg.counter("train.micro_shards");
+  static obs::Gauge& loss_gauge = reg.gauge("train.loss");
+  static obs::Gauge& grad_norm_gauge = reg.gauge("train.grad_norm");
+  static obs::Histogram& shard_ms_hist = reg.histogram(
+      "train.micro_shard_ms",
+      {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
   FMNET_CHECK(!examples.empty(), "empty training set");
   FMNET_CHECK_GE(train_config_.micro_batch, 1);
   const std::size_t n = examples.size();
@@ -94,6 +106,7 @@ TrainStats TransformerImputer::train(
   std::uint64_t shard_counter = 0;
 
   for (int epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("epoch");
     // Cosine learning-rate decay.
     if (train_config_.epochs > 1 && train_config_.lr_final_fraction < 1.0f) {
       const float progress = static_cast<float>(epoch) /
@@ -148,6 +161,10 @@ TrainStats TransformerImputer::train(
 
       tp.parallel_for_lane(0, num_shards, [&](std::size_t lane,
                                               std::int64_t si) {
+        // Per-shard timing costs two clock reads per shard — only taken
+        // when a metrics sink is live.
+        const bool timed = obs::enabled();
+        fmnet::Stopwatch shard_clock;
         const auto s = static_cast<std::size_t>(si);
         const std::vector<std::size_t>& shard = shards[s];
         nn::ImputationTransformer& m =
@@ -196,7 +213,9 @@ TrainStats TransformerImputer::train(
           shard_grads[s][p] = std::move(node.grad);
           node.grad.clear();
         }
+        if (timed) shard_ms_hist.record(shard_clock.elapsed_ms());
       });
+      shards_done.add(num_shards);
 
       // Deterministic reduction: shard order, then element order.
       for (std::size_t p = 0; p < num_params; ++p) {
@@ -212,11 +231,14 @@ TrainStats TransformerImputer::train(
       for (const double l : shard_losses) batch_loss += l;
       epoch_loss += batch_loss;
       ++batches;
-      opt.clip_grad_norm(train_config_.grad_clip);
+      const float grad_norm = opt.clip_grad_norm(train_config_.grad_clip);
+      grad_norm_gauge.set_max(static_cast<double>(grad_norm));
       opt.step();
     }
+    epochs_done.add(1);
     stats.epoch_loss.push_back(
         static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    loss_gauge.set(static_cast<double>(stats.epoch_loss.back()));
     if (train_config_.verbose) {
       std::printf("[%s] epoch %3d loss %.5f phi %.4f psi %.4f\n",
                   name().c_str(), epoch, stats.epoch_loss.back(),

@@ -1,0 +1,218 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace fmnet::obs {
+
+namespace {
+
+// Shortest round-trip double formatting; JSON has no Inf/NaN, so
+// non-finite values (possible in gauges fed from degenerate runs) become
+// null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_json() {
+  const Registry& reg = Registry::global();
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"fmnet.metrics.v1\",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : reg.counters()) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name) << ": "
+       << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name)
+       << ": {\"value\": " << json_number(g->value())
+       << ", \"max\": " << json_number(g->max()) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name)
+       << ": {\"bounds\": [";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      os << (i ? ", " : "") << json_number(bounds[i]);
+    }
+    os << "], \"counts\": [";
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      os << (i ? ", " : "") << counts[i];
+    }
+    os << "], \"count\": " << h->count()
+       << ", \"sum\": " << json_number(h->sum()) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"spans\": {";
+  first = true;
+  for (const auto& [path, s] : reg.spans()) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(path)
+       << ": {\"count\": " << s.count
+       << ", \"wall_s\": " << json_number(s.wall_s)
+       << ", \"cpu_s\": " << json_number(s.cpu_s)
+       << ", \"wall_max_s\": " << json_number(s.wall_max_s) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  const util::ThreadPool& pool = util::ThreadPool::global();
+  const auto lanes = pool.lane_stats();
+  os << "  \"thread_pool\": {\"lanes\": " << pool.size()
+     << ", \"lane_stats\": [";
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    os << (l ? ",\n    " : "\n    ") << "{\"lane\": " << l
+       << ", \"tasks\": " << lanes[l].tasks
+       << ", \"regions\": " << lanes[l].regions
+       << ", \"busy_s\": " << json_number(lanes[l].busy_s)
+       << ", \"idle_s\": " << json_number(lanes[l].idle_s) << "}";
+  }
+  os << "\n  ]}\n}\n";
+  return os.str();
+}
+
+void print_table(std::ostream& os) {
+  const Registry& reg = Registry::global();
+
+  const auto spans = reg.spans();
+  if (!spans.empty()) {
+    Table t({"span", "count", "wall (s)", "cpu (s)", "wall max (s)"});
+    for (const auto& [path, s] : spans) {
+      t.add_row({path, std::to_string(s.count), Table::fmt(s.wall_s, 4),
+                 Table::fmt(s.cpu_s, 4), Table::fmt(s.wall_max_s, 4)});
+    }
+    t.print(os);
+    os << "\n";
+  }
+
+  const auto counters = reg.counters();
+  const auto gauges = reg.gauges();
+  if (!counters.empty() || !gauges.empty()) {
+    Table t({"metric", "value", "max"});
+    for (const auto& [name, value] : counters) {
+      t.add_row({name, std::to_string(value), "-"});
+    }
+    for (const auto& [name, g] : gauges) {
+      t.add_row({name, Table::fmt(g->value(), 4), Table::fmt(g->max(), 4)});
+    }
+    t.print(os);
+    os << "\n";
+  }
+
+  const auto histograms = reg.histograms();
+  if (!histograms.empty()) {
+    Table t({"histogram", "count", "mean", "buckets (<=bound: n)"});
+    for (const auto& [name, h] : histograms) {
+      const std::int64_t n = h->count();
+      std::string buckets;
+      const auto counts = h->bucket_counts();
+      const auto& bounds = h->bounds();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        if (!buckets.empty()) buckets += " ";
+        char buf[64];
+        if (i < bounds.size()) {
+          std::snprintf(buf, sizeof(buf), "<=%g:%" PRId64, bounds[i],
+                        counts[i]);
+        } else {
+          std::snprintf(buf, sizeof(buf), ">%g:%" PRId64, bounds.back(),
+                        counts[i]);
+        }
+        buckets += buf;
+      }
+      t.add_row({name, std::to_string(n),
+                 n > 0 ? Table::fmt(h->sum() / static_cast<double>(n), 4)
+                       : "-",
+                 buckets.empty() ? "-" : buckets});
+    }
+    t.print(os);
+    os << "\n";
+  }
+
+  const auto lanes = util::ThreadPool::global().lane_stats();
+  Table t({"lane", "tasks", "regions", "busy (s)", "idle (s)"});
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    t.add_row({std::to_string(l), std::to_string(lanes[l].tasks),
+               std::to_string(lanes[l].regions),
+               Table::fmt(lanes[l].busy_s, 4),
+               Table::fmt(lanes[l].idle_s, 4)});
+  }
+  t.print(os);
+}
+
+void flush_to(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  FMNET_CHECK(out.good(), "cannot open metrics sink");
+  out << to_json();
+  FMNET_CHECK(out.good(), "failed writing metrics sink");
+}
+
+bool flush_if_enabled() {
+  if (!enabled()) return false;
+  const std::string path = sink_path();
+  if (path.empty()) return false;
+  flush_to(path);
+  return true;
+}
+
+bool finalize() {
+  const char* table_env = std::getenv("FMNET_METRICS_TABLE");
+  if (table_env != nullptr && table_env[0] != '\0' &&
+      !(table_env[0] == '0' && table_env[1] == '\0')) {
+    print_table(std::cerr);
+  }
+  return flush_if_enabled();
+}
+
+}  // namespace fmnet::obs

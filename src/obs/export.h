@@ -1,0 +1,36 @@
+// Export of the observability registry: a stable JSON document (schema
+// "fmnet.metrics.v1") for CI artifacts, and a human-readable table via
+// util::Table.
+//
+// The JSON sink is env-driven: binaries call flush_if_enabled() at the end
+// of main (benches do it through bench::ScopedMetricsDump), which writes
+// FMNET_METRICS=<path> when set and is a no-op otherwise.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace fmnet::obs {
+
+/// Serialises counters, gauges, histograms, span aggregates and the global
+/// ThreadPool's per-lane telemetry as one JSON object.
+std::string to_json();
+
+/// Renders the same snapshot as aligned ASCII tables.
+void print_table(std::ostream& os);
+
+/// Writes to_json() to `path` (truncating). Throws CheckError on I/O
+/// failure.
+void flush_to(const std::string& path);
+
+/// Writes the JSON export to sink_path() when collection is enabled and a
+/// path is set; returns true when a file was written.
+bool flush_if_enabled();
+
+/// End-of-main hook for binaries: prints the human table to stderr when
+/// FMNET_METRICS_TABLE is set (non-empty, non-"0"), then flush_if_enabled().
+/// Call it from main scope — it snapshots the global ThreadPool, which must
+/// still be alive.
+bool finalize();
+
+}  // namespace fmnet::obs

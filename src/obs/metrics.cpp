@@ -1,0 +1,244 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace fmnet::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_sink_mu;
+std::string& sink_storage() {
+  static std::string* path = new std::string();  // never destroyed
+  return *path;
+}
+
+// Reads FMNET_METRICS exactly once, before main-thread instrumentation
+// can race with it.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("FMNET_METRICS");
+    if (env != nullptr && env[0] != '\0') {
+      sink_storage() = env;
+      g_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Stripe slot for the calling thread: threads get consecutive ids, folded
+// onto the cells. Stripe sharing is harmless (cells are atomic); the point
+// is that concurrent pool lanes usually land on distinct cache lines.
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kStripes;
+  return slot;
+}
+
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() {
+  static EnvInit init;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  enabled();  // force env read first so it cannot overwrite this later
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_sink_path(std::string path) {
+  enabled();
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink_storage() = std::move(path);
+  }
+  if (!sink_path().empty()) g_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::string sink_path() {
+  enabled();
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  return sink_storage();
+}
+
+void Counter::add(std::int64_t n) {
+  cells_[thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const Cell& c : cells_) {
+    total += c.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+void Gauge::set_max(double v) {
+  value_.store(v, std::memory_order_relaxed);
+  atomic_max_double(max_, v);
+}
+
+double Gauge::value() const {
+  return value_.load(std::memory_order_relaxed);
+}
+
+double Gauge::max() const { return max_.load(std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  FMNET_CHECK(!bounds_.empty(), "histogram needs at least one bound");
+  FMNET_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be increasing");
+}
+
+void Histogram::record(double v) {
+  // First bound >= v; everything above the last bound is the overflow
+  // bucket.
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+std::int64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: the export path may run late in shutdown, after
+  // function-local statics would have been destroyed.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::record_span(const std::string& path, double wall_s,
+                           double cpu_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStat& s = spans_[path];
+  ++s.count;
+  s.wall_s += wall_s;
+  s.cpu_s += cpu_s;
+  s.wall_max_s = std::max(s.wall_max_s, wall_s);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, SpanStat>> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, SpanStat>> out;
+  out.reserve(spans_.size());
+  for (const auto& [path, stat] : spans_) {
+    out.emplace_back(path, stat);
+  }
+  return out;
+}
+
+void Registry::reset_for_testing() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+}
+
+}  // namespace fmnet::obs

@@ -1,0 +1,148 @@
+// Process-wide observability registry: counters, gauges and fixed-bucket
+// histograms, cheap enough for hot pipeline paths.
+//
+// Design rules:
+//
+//  * Updates never take the registry lock. Counters are striped across
+//    cache-line-padded atomic cells indexed by a per-thread slot, so N pool
+//    lanes incrementing the same counter do not contend — yet value() sums
+//    the stripes and is exact. Histograms and gauges are single relaxed
+//    atomics per cell (their call sites are window/epoch granularity, not
+//    per-slot).
+//  * Instruments are interned by name on first use and never deallocated,
+//    so call sites can cache `static obs::Counter& c = ...;` references.
+//  * Metrics are pure observers: they read pipeline values but never feed
+//    back into them, so collection cannot perturb the bit-exact
+//    determinism contract of util::ThreadPool (guarded by a test).
+//  * The export sink is env-driven (FMNET_METRICS=<path>) and off by
+//    default; spans (see obs/span.h) do nothing at all — no clock reads,
+//    no allocation — when the sink is disabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fmnet::obs {
+
+/// True when a metrics sink is configured (FMNET_METRICS env var at
+/// startup, or set_sink_path()/set_enabled() at runtime). Spans and other
+/// optional instrumentation check this flag; it is a single relaxed atomic
+/// load.
+bool enabled();
+
+/// Enables/disables collection at runtime (tests, CLI flags). Collection
+/// is also implicitly enabled by set_sink_path().
+void set_enabled(bool on);
+
+/// Path the JSON export is written to by flush_if_enabled(); empty = no
+/// file sink. Setting a non-empty path enables collection.
+void set_sink_path(std::string path);
+std::string sink_path();
+
+/// Monotonically increasing integer, exact under concurrent add() from any
+/// number of threads.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 8;
+
+  void add(std::int64_t n = 1);
+  std::int64_t value() const;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// Last-written double value, plus a running max — both atomic.
+class Gauge {
+ public:
+  void set(double v);
+  /// Keeps the maximum of all observed values.
+  void set_max(double v);
+  double value() const;
+  double max() const;
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples v with
+/// bounds[i-1] < v <= bounds[i]; one extra overflow bucket counts
+/// v > bounds.back(). Bounds are fixed at registration.
+class Histogram {
+ public:
+  void record(double v);
+  std::int64_t count() const;
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  std::vector<std::int64_t> bucket_counts() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Aggregated statistics of one span path (see obs/span.h).
+struct SpanStat {
+  std::int64_t count = 0;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;      // process CPU — includes pool workers
+  double wall_max_s = 0.0;
+};
+
+/// Interning registry. Lookup takes a mutex (cache the reference at the
+/// call site); updates on the returned instruments are lock-free.
+class Registry {
+ public:
+  /// The process-wide registry. Never destroyed, so export may run from
+  /// any point of program shutdown.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Bounds must be strictly increasing. Re-registering an existing name
+  /// returns the original histogram (bounds of later calls are ignored).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Folds one completed span into the per-path aggregate.
+  void record_span(const std::string& path, double wall_s, double cpu_s);
+
+  /// Snapshots, sorted by name for deterministic export.
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::vector<std::pair<std::string, SpanStat>> spans() const;
+
+  /// Drops every instrument and span aggregate (tests only — outstanding
+  /// cached references dangle).
+  void reset_for_testing();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, SpanStat> spans_;
+};
+
+}  // namespace fmnet::obs

@@ -1,0 +1,48 @@
+#include "obs/span.h"
+
+#include <ctime>
+
+namespace fmnet::obs {
+
+namespace {
+// Innermost open span of this thread; children prefix their path with it.
+thread_local const std::string* t_current_span = nullptr;
+}  // namespace
+
+std::int64_t process_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!enabled()) return;
+  active_ = true;
+  if (t_current_span != nullptr) {
+    path_.reserve(t_current_span->size() + 1 + std::char_traits<char>::
+                                                   length(name));
+    path_ = *t_current_span;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = name;
+  }
+  saved_parent_ = t_current_span;
+  t_current_span = &path_;
+  cpu_start_ns_ = process_cpu_ns();
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  const double cpu_s =
+      static_cast<double>(process_cpu_ns() - cpu_start_ns_) * 1e-9;
+  t_current_span = saved_parent_;
+  Registry::global().record_span(path_, wall_s, cpu_s);
+}
+
+}  // namespace fmnet::obs

@@ -1,0 +1,42 @@
+// RAII scoped spans: wall + CPU time per pipeline stage, with parent/child
+// nesting. A span's identity is its slash-joined path ("pipeline/train/
+// epoch"), built from the thread-local stack of enclosing spans; completed
+// spans fold into per-path aggregates in the Registry.
+//
+// When the metrics sink is disabled (obs::enabled() == false) constructing
+// a span does nothing at all — no clock read, no allocation — so
+// instrumented hot paths cost one relaxed atomic load.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fmnet::obs {
+
+class ScopedSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Full path of this span ("parent/child"); empty when disabled.
+  const std::string& path() const { return path_; }
+
+ private:
+  bool active_ = false;
+  std::string path_;
+  const std::string* saved_parent_ = nullptr;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::int64_t cpu_start_ns_ = 0;
+};
+
+/// Process CPU time (all threads) in nanoseconds — the span CPU clock.
+std::int64_t process_cpu_ns();
+
+}  // namespace fmnet::obs

@@ -44,7 +44,13 @@ VarId Model::new_int(std::int64_t lo, std::int64_t hi, std::string name) {
   FMNET_CHECK_LE(lo, hi);
   lo_.push_back(lo);
   hi_.push_back(hi);
-  if (name.empty()) name = "v" + std::to_string(lo_.size() - 1);
+  if (name.empty()) {
+    // Built in a fresh string and move-assigned: GCC 12's -Wrestrict
+    // false-positives (PR105651) on any replace/assign into `name` here.
+    std::string generated("v");
+    generated += std::to_string(lo_.size() - 1);
+    name = std::move(generated);
+  }
   names_.push_back(std::move(name));
   return VarId{static_cast<std::int32_t>(lo_.size() - 1)};
 }

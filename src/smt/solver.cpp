@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -13,6 +14,24 @@ std::int64_t floor_div(std::int64_t a, std::int64_t b) {
   std::int64_t q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return q;
+}
+
+// Process-wide solver accounting, aggregated across every solve on every
+// thread (CEM windows run concurrently on the pool).
+void record_solve(const SolveResult& r) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& solves = reg.counter("smt.solves");
+  static obs::Counter& decisions = reg.counter("smt.decisions");
+  static obs::Counter& propagations = reg.counter("smt.propagations");
+  static obs::Counter& conflicts = reg.counter("smt.conflicts");
+  static obs::Counter& timeouts = reg.counter("smt.timeouts");
+  static obs::Counter& unsat = reg.counter("smt.unsat");
+  solves.add(1);
+  decisions.add(r.decisions);
+  propagations.add(r.propagations);
+  conflicts.add(r.conflicts);
+  if (r.status == Status::kUnknown) timeouts.add(1);
+  if (r.status == Status::kUnsat) unsat.add(1);
 }
 }  // namespace
 
@@ -317,7 +336,11 @@ SolveResult Solver::search() {
   }
 }
 
-SolveResult Solver::solve() { return search(); }
+SolveResult Solver::solve() {
+  SolveResult r = search();
+  record_solve(r);
+  return r;
+}
 
 SolveResult Solver::minimize() {
   FMNET_CHECK(model_.has_objective(), "minimize() without an objective");
@@ -360,6 +383,7 @@ SolveResult Solver::minimize() {
       best.propagations = propagations_;
       best.conflicts = conflicts_;
       best.seconds = clock.elapsed_seconds();
+      record_solve(best);
       return best;
     } else {
       break;  // budget inside search
@@ -369,6 +393,7 @@ SolveResult Solver::minimize() {
   best.propagations = propagations_;
   best.conflicts = conflicts_;
   best.seconds = clock.elapsed_seconds();
+  record_solve(best);
   return best;  // kSat (feasible, not proven optimal) or kUnknown
 }
 

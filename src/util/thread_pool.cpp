@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
@@ -11,6 +12,12 @@ namespace {
 // nested regions detect this and run inline instead of deadlocking on the
 // queue (and so that lane ids stay exclusive to one region at a time).
 thread_local bool t_in_pool_task = false;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 // Shared state of one parallel_for region. Lifetime: owned by shared_ptr
@@ -22,6 +29,10 @@ struct ThreadPool::ForState {
   std::atomic<std::int64_t> next{0};
   std::int64_t end = 0;
   const std::function<void(std::size_t, std::int64_t)>* body = nullptr;
+  // Owning pool's telemetry array; outlives the state because the pool
+  // joins its workers (which hold the only late references) on
+  // destruction.
+  LaneCounters* lanes = nullptr;
   // Lanes currently inside run_lane. Incremented before any index can be
   // claimed (seq_cst), so once a waiter observes next >= end &&
   // in_flight == 0, no body call is running or can ever start.
@@ -33,9 +44,12 @@ struct ThreadPool::ForState {
 
   void run_lane(std::size_t lane) {
     in_flight.fetch_add(1);
+    const std::int64_t t0 = now_ns();
+    std::int64_t executed = 0;
     for (;;) {
       const std::int64_t i = next.fetch_add(1);
       if (i >= end) break;
+      ++executed;
       try {
         (*body)(lane, i);
       } catch (...) {
@@ -46,6 +60,10 @@ struct ThreadPool::ForState {
         next.store(end);  // abandon unclaimed indices
       }
     }
+    LaneCounters& lc = lanes[lane];
+    lc.tasks.fetch_add(executed, std::memory_order_relaxed);
+    lc.regions.fetch_add(1, std::memory_order_relaxed);
+    lc.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     if (in_flight.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lock(done_mu);  // pairs with waiter
       done_cv.notify_all();
@@ -58,10 +76,11 @@ struct ThreadPool::ForState {
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads)
-    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+    : num_threads_(num_threads == 0 ? 1 : num_threads),
+      lane_counters_(new LaneCounters[num_threads == 0 ? 1 : num_threads]) {
   workers_.reserve(num_threads_ - 1);
   for (std::size_t t = 1; t < num_threads_; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -74,12 +93,17 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // "Idle" for a worker is time blocked on the queue between helper
+  // tasks — the closest analogue of steal-wait in a work-stealing pool.
+  LaneCounters& lc = lane_counters_[worker_index];
   for (;;) {
     std::function<void()> task;
     {
+      const std::int64_t w0 = now_ns();
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      lc.idle_ns.fetch_add(now_ns() - w0, std::memory_order_relaxed);
       if (tasks_.empty()) return;  // stopping
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -103,13 +127,19 @@ void ThreadPool::parallel_for_lane(
   // Inline when there is nothing to fan out to, or when nested inside
   // another region: lane 0 is then the caller's exclusive lane.
   if (num_threads_ == 1 || n == 1 || t_in_pool_task) {
+    const std::int64_t t0 = now_ns();
     for (std::int64_t i = 0; i < n; ++i) shifted(0, i);
+    LaneCounters& lc = lane_counters_[0];
+    lc.tasks.fetch_add(n, std::memory_order_relaxed);
+    lc.regions.fetch_add(1, std::memory_order_relaxed);
+    lc.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
     return;
   }
 
   auto state = std::make_shared<ForState>();
   state->end = n;
   state->body = &shifted;
+  state->lanes = lane_counters_.get();
 
   const std::size_t helpers =
       std::min<std::size_t>(workers_.size(), static_cast<std::size_t>(n - 1));
@@ -127,8 +157,11 @@ void ThreadPool::parallel_for_lane(
   state->run_lane(0);
   t_in_pool_task = false;
   {
+    const std::int64_t w0 = now_ns();
     std::unique_lock<std::mutex> lock(state->done_mu);
     state->done_cv.wait(lock, [&] { return state->finished(); });
+    lane_counters_[0].idle_ns.fetch_add(now_ns() - w0,
+                                        std::memory_order_relaxed);
   }
   if (state->error) std::rethrow_exception(state->error);
 }
@@ -138,6 +171,32 @@ void ThreadPool::parallel_for(
     const std::function<void(std::int64_t)>& body) {
   parallel_for_lane(begin, end,
                     [&body](std::size_t, std::int64_t i) { body(i); });
+}
+
+std::vector<LaneStatsSnapshot> ThreadPool::lane_stats() const {
+  std::vector<LaneStatsSnapshot> out(num_threads_);
+  for (std::size_t l = 0; l < num_threads_; ++l) {
+    const LaneCounters& lc = lane_counters_[l];
+    out[l].tasks = lc.tasks.load(std::memory_order_relaxed);
+    out[l].regions = lc.regions.load(std::memory_order_relaxed);
+    out[l].busy_s =
+        static_cast<double>(lc.busy_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    out[l].idle_s =
+        static_cast<double>(lc.idle_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+  }
+  return out;
+}
+
+void ThreadPool::reset_lane_stats() {
+  for (std::size_t l = 0; l < num_threads_; ++l) {
+    LaneCounters& lc = lane_counters_[l];
+    lc.tasks.store(0, std::memory_order_relaxed);
+    lc.regions.store(0, std::memory_order_relaxed);
+    lc.busy_ns.store(0, std::memory_order_relaxed);
+    lc.idle_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::size_t ThreadPool::configured_threads() {

@@ -18,15 +18,32 @@
 // so FMNET_THREADS=1 recovers the exact single-threaded execution path.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace fmnet::util {
+
+/// Per-lane utilisation snapshot (see ThreadPool::lane_stats()). All
+/// fields are cumulative since pool construction (or the last
+/// reset_lane_stats()).
+struct LaneStatsSnapshot {
+  /// parallel_for indices executed while holding this lane id.
+  std::int64_t tasks = 0;
+  /// Parallel regions this lane participated in.
+  std::int64_t regions = 0;
+  /// Seconds spent inside region bodies on this lane.
+  double busy_s = 0.0;
+  /// Lane 0: caller wait for straggler lanes at region ends. Lanes >= 1:
+  /// worker time blocked on the task queue ("steal/idle" time).
+  double idle_s = 0.0;
+};
 
 class ThreadPool {
  public:
@@ -72,12 +89,28 @@ class ThreadPool {
     return pool != nullptr ? *pool : global();
   }
 
+  /// Cumulative per-lane utilisation telemetry, one entry per lane.
+  /// Counters are advanced with relaxed atomics on the hot path (one add
+  /// per claimed index, two clock reads per lane per region), so the cost
+  /// is negligible against any real region body. Telemetry is a pure
+  /// observer: it never influences scheduling, so outputs stay
+  /// bit-identical with or without readers.
+  std::vector<LaneStatsSnapshot> lane_stats() const;
+  void reset_lane_stats();
+
  private:
   struct ForState;
+  struct alignas(64) LaneCounters {
+    std::atomic<std::int64_t> tasks{0};
+    std::atomic<std::int64_t> regions{0};
+    std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<std::int64_t> idle_ns{0};
+  };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::size_t num_threads_;
+  std::unique_ptr<LaneCounters[]> lane_counters_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable task_ready_;

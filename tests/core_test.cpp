@@ -130,9 +130,11 @@ TEST(Evaluation, CemNullifiesConsistencyRows) {
 
 TEST(Evaluation, PrintTable1Layout) {
   std::vector<Table1Row> rows(2);
-  rows[0].method = "A";
+  // Move-assigned temporaries: GCC 12 -Wrestrict false-positives
+  // (PR105651) on assigning string literals into vector elements.
+  rows[0].method = std::string("A");
   rows[0].max_constraint = 0.5;
-  rows[1].method = "B";
+  rows[1].method = std::string("B");
   std::ostringstream os;
   print_table1(rows, os);
   const std::string s = os.str();

@@ -11,6 +11,7 @@
 #include "core/pipeline.h"
 #include "impute/cem.h"
 #include "impute/transformer_imputer.h"
+#include "obs/metrics.h"
 #include "telemetry/dataset.h"
 #include "telemetry/monitors.h"
 #include "util/rng.h"
@@ -106,6 +107,39 @@ TEST(Determinism, CemPortCorrectionIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.feasible, b.feasible);
   EXPECT_EQ(a.objective, b.objective);
   EXPECT_EQ(a.corrected, b.corrected);
+}
+
+TEST(Determinism, MetricsCollectionDoesNotPerturbOutputs) {
+  // The observability layer (obs/) must be a pure observer: running the
+  // instrumented stages with collection ON must produce bit-identical
+  // outputs to collection OFF, at any lane count.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  const auto baseline = core::run_campaign(small_campaign_config(), &one);
+
+  obs::set_enabled(true);
+  const auto on_one = core::run_campaign(small_campaign_config(), &one);
+  const auto on_eight = core::run_campaign(small_campaign_config(), &eight);
+
+  const auto c = multi_window_constraints(12, 10);
+  Rng rng(17);
+  std::vector<double> imputed(120);
+  for (auto& v : imputed) v = rng.uniform(0.0, 20.0);
+  impute::ConstraintEnforcementModule cem;
+  obs::set_enabled(false);
+  const auto cem_off = cem.correct(imputed, c, &eight);
+  obs::set_enabled(true);
+  const auto cem_on = cem.correct(imputed, c, &eight);
+  obs::set_enabled(was_enabled);
+
+  EXPECT_EQ(baseline.gt.queue_len, on_one.gt.queue_len);
+  EXPECT_EQ(baseline.gt.queue_len, on_eight.gt.queue_len);
+  EXPECT_EQ(baseline.gt.port_sent, on_eight.gt.port_sent);
+  EXPECT_EQ(baseline.gt.port_dropped, on_eight.gt.port_dropped);
+  EXPECT_EQ(cem_off.objective, cem_on.objective);
+  EXPECT_EQ(cem_off.corrected, cem_on.corrected);
 }
 
 TEST(Determinism, TrainingIdenticalAcrossThreadCounts) {

@@ -207,7 +207,9 @@ TEST(RateImputer, OutputsObeyPhysicsByConstruction) {
     const double max_delta = 0.5 * ex.qlen_scale + 1e-6;
     for (std::size_t t = 0; t < out.size(); ++t) {
       ASSERT_GE(out[t], 0.0);
-      if (t > 0) ASSERT_LE(std::abs(out[t] - out[t - 1]), max_delta);
+      if (t > 0) {
+        ASSERT_LE(std::abs(out[t] - out[t - 1]), max_delta);
+      }
     }
   }
 }

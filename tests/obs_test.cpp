@@ -1,0 +1,261 @@
+// Observability subsystem: exact striped counters under pool concurrency,
+// histogram bucket semantics, span nesting, the disabled no-op path, the
+// JSON export, and ThreadPool lane telemetry.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/thread_pool.h"
+
+namespace fmnet::obs {
+namespace {
+
+// Every test starts from an empty registry with collection off, so tests
+// cannot see each other's instruments. Instrumented library code caches
+// `static Counter&` references, so these tests only touch instruments they
+// create themselves.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    Registry::global().reset_for_testing();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::global().reset_for_testing();
+  }
+};
+
+TEST_F(ObsTest, CounterConcurrentAddsFromPoolLanesSumExactly) {
+  Counter& c = Registry::global().counter("test.concurrent");
+  util::ThreadPool pool(8);
+  const std::int64_t n = 50'000;
+  pool.parallel_for_lane(0, n, [&](std::size_t /*lane*/, std::int64_t i) {
+    c.add(1);
+    if (i % 3 == 0) c.add(2);
+  });
+  std::int64_t expected = n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i % 3 == 0) expected += 2;
+  }
+  EXPECT_EQ(c.value(), expected);
+}
+
+TEST_F(ObsTest, CounterStripesStayExactAcrossManyThreads) {
+  // More threads than stripes: slots fold onto shared cells and the sum
+  // must still be exact.
+  Counter& c = Registry::global().counter("test.folded");
+  util::ThreadPool pool(2 * Counter::kStripes + 1);
+  pool.parallel_for(0, 10'000, [&](std::int64_t) { c.add(1); });
+  EXPECT_EQ(c.value(), 10'000);
+}
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  Histogram& h =
+      Registry::global().histogram("test.hist", {1.0, 2.0, 5.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; last bucket = overflow.
+  h.record(0.5);  // bucket 0
+  h.record(1.0);  // bucket 0 (edge is inclusive)
+  h.record(1.5);  // bucket 1
+  h.record(2.0);  // bucket 1
+  h.record(3.0);  // bucket 2
+  h.record(5.0);  // bucket 2
+  h.record(5.5);  // overflow
+  h.record(1e9);  // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 5.0 + 5.5 + 1e9,
+              1e-6);
+}
+
+TEST_F(ObsTest, GaugeSetAndRunningMax) {
+  Gauge& g = Registry::global().gauge("test.gauge");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set_max(7.0);
+  g.set_max(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);  // value follows the last write
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);    // max keeps the peak
+}
+
+TEST_F(ObsTest, RegistryInternsInstrumentsByName) {
+  Counter& a1 = Registry::global().counter("test.a");
+  Counter& a2 = Registry::global().counter("test.a");
+  Counter& b = Registry::global().counter("test.b");
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_NE(&a1, &b);
+  // Re-registering a histogram keeps the original bounds.
+  Histogram& h1 = Registry::global().histogram("test.h", {1.0, 2.0});
+  Histogram& h2 = Registry::global().histogram("test.h", {9.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(ObsTest, SnapshotsAreSortedByName) {
+  Registry::global().counter("test.z").add(1);
+  Registry::global().counter("test.a").add(2);
+  Registry::global().counter("test.m").add(3);
+  const auto snap = Registry::global().counters();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "test.a");
+  EXPECT_EQ(snap[1].first, "test.m");
+  EXPECT_EQ(snap[2].first, "test.z");
+}
+
+TEST_F(ObsTest, DisabledSpanRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+    // The no-op path never builds a path string (no allocation).
+    EXPECT_TRUE(outer.path().empty());
+    EXPECT_TRUE(inner.path().empty());
+  }
+  EXPECT_TRUE(Registry::global().spans().empty());
+}
+
+TEST_F(ObsTest, SpanNestingBuildsSlashPaths) {
+  set_enabled(true);
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(outer.path(), "outer");
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+    }
+    {
+      ScopedSpan inner("inner");  // same path again: aggregates
+    }
+  }
+  const auto spans = Registry::global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].first, "outer");
+  EXPECT_EQ(spans[0].second.count, 1);
+  EXPECT_EQ(spans[1].first, "outer/inner");
+  EXPECT_EQ(spans[1].second.count, 2);
+  EXPECT_GE(spans[0].second.wall_s, spans[1].second.wall_s);
+  EXPECT_GE(spans[1].second.wall_s, spans[1].second.wall_max_s);
+}
+
+TEST_F(ObsTest, SpanStackUnwindsAfterScope) {
+  set_enabled(true);
+  { ScopedSpan a("a"); }
+  // A sibling opened after `a` closed must not inherit its path.
+  { ScopedSpan b("b"); EXPECT_EQ(b.path(), "b"); }
+}
+
+TEST_F(ObsTest, JsonExportContainsSchemaAndInstruments) {
+  set_enabled(true);
+  Registry::global().counter("test.json.counter").add(41);
+  Registry::global().gauge("test.json.gauge").set(1.25);
+  Registry::global().histogram("test.json.hist", {10.0}).record(4.0);
+  { ScopedSpan s("test_span"); }
+  const std::string j = to_json();
+  EXPECT_NE(j.find("\"schema\": \"fmnet.metrics.v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.counter\": 41"), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.gauge\""), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(j.find("\"test_span\""), std::string::npos);
+  EXPECT_NE(j.find("\"thread_pool\""), std::string::npos);
+  EXPECT_NE(j.find("\"lane_stats\""), std::string::npos);
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  std::int64_t depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    const char ch = j[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+    } else if (ch == '"') {
+      in_string = true;
+    } else if (ch == '{') {
+      ++depth;
+    } else if (ch == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, FlushToWritesTheJsonDocument) {
+  set_enabled(true);
+  Registry::global().counter("test.flush").add(7);
+  const std::string path = "obs_test_flush.json";
+  flush_to(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_NE(ss.str().find("\"test.flush\": 7"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrintTableRendersWithoutCrashing) {
+  set_enabled(true);
+  Registry::global().counter("test.table").add(5);
+  Registry::global().histogram("test.table.h", {1.0, 2.0}).record(0.5);
+  { ScopedSpan s("table_span"); }
+  std::ostringstream os;
+  print_table(os);
+  EXPECT_NE(os.str().find("test.table"), std::string::npos);
+  EXPECT_NE(os.str().find("table_span"), std::string::npos);
+}
+
+TEST_F(ObsTest, ThreadPoolLaneStatsCountEveryIndex) {
+  util::ThreadPool pool(4);
+  pool.reset_lane_stats();
+  pool.parallel_for(0, 1'000, [](std::int64_t) {});
+  const auto stats = pool.lane_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::int64_t tasks = 0;
+  std::int64_t regions = 0;
+  for (const auto& s : stats) {
+    tasks += s.tasks;
+    regions += s.regions;
+    EXPECT_GE(s.busy_s, 0.0);
+    EXPECT_GE(s.idle_s, 0.0);
+  }
+  EXPECT_EQ(tasks, 1'000);
+  EXPECT_GE(regions, 1);
+  pool.reset_lane_stats();
+  for (const auto& s : pool.lane_stats()) {
+    EXPECT_EQ(s.tasks, 0);
+    EXPECT_EQ(s.regions, 0);
+  }
+}
+
+TEST_F(ObsTest, InlinePoolLaneStatsStillCount) {
+  // A 1-lane pool executes inline; lane 0 must still account its work.
+  util::ThreadPool pool(1);
+  pool.parallel_for(0, 64, [](std::int64_t) {});
+  const auto stats = pool.lane_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].tasks, 64);
+  EXPECT_EQ(stats[0].regions, 1);
+}
+
+TEST_F(ObsTest, SinkPathRoundTripsAndEnables) {
+  set_sink_path("some/path.json");
+  EXPECT_EQ(sink_path(), "some/path.json");
+  EXPECT_TRUE(enabled());
+  set_sink_path("");
+  EXPECT_EQ(sink_path(), "");
+}
+
+}  // namespace
+}  // namespace fmnet::obs
