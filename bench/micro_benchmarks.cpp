@@ -3,8 +3,12 @@
 // throughput, and single-interval CEM repair.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
 #include "core/pipeline.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "impute/cem.h"
 #include "nn/losses.h"
 #include "nn/transformer.h"
@@ -12,6 +16,7 @@
 #include "smt/solver.h"
 #include "switchsim/switch.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "traffic/sources.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -25,10 +30,26 @@ void BM_TensorMatmul(benchmark::State& state) {
   Rng rng(1);
   const auto a = tensor::Tensor::randn({n, n}, rng);
   const auto b = tensor::Tensor::randn({n, n}, rng);
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::matmul(a, b).data().data());
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // A matmul is 2*m*k*n FLOPs (multiply + add per inner-product step).
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(flops));
+  state.counters["gflops"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  if (elapsed_s > 0.0) {
+    obs::Registry::global()
+        .gauge("bench.gemm.n" + std::to_string(n) + ".gflops")
+        .set_max(flops * 1e-9 * static_cast<double>(state.iterations()) /
+                 elapsed_s);
+  }
 }
 BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
 
@@ -44,11 +65,22 @@ void BM_TransformerForwardBackward(benchmark::State& state) {
   nn::ImputationTransformer model(cfg, rng);
   const auto x = tensor::Tensor::randn({4, state.range(0), 4}, rng);
   const auto y = tensor::Tensor::randn({4, state.range(0)}, rng);
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     model.zero_grad();
     auto loss = nn::emd_loss(model.forward(x, rng), y);
     loss.backward();
     benchmark::DoNotOptimize(loss.item());
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.SetItemsProcessed(state.iterations());
+  if (elapsed_s > 0.0) {
+    obs::Registry::global()
+        .gauge("bench.transformer.t" + std::to_string(state.range(0)) +
+               ".steps_per_s")
+        .set_max(static_cast<double>(state.iterations()) / elapsed_s);
   }
 }
 BENCHMARK(BM_TransformerForwardBackward)->Arg(100)->Arg(300);
@@ -183,6 +215,17 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Pool effectiveness across the whole bench run (hits / pooled lookups).
+  const auto ps = fmnet::tensor::pool::stats();
+  if (ps.hits + ps.misses > 0) {
+    fmnet::obs::Registry::global()
+        .gauge("bench.tensor_pool.hit_rate")
+        .set(static_cast<double>(ps.hits) /
+             static_cast<double>(ps.hits + ps.misses));
+  }
+  fmnet::obs::Registry::global()
+      .gauge("bench.tensor_pool.reused_mb")
+      .set(static_cast<double>(ps.reused_bytes) / (1024.0 * 1024.0));
   fmnet::obs::finalize();
   return 0;
 }

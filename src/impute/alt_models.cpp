@@ -115,8 +115,8 @@ PointwiseMlpImputer::PointwiseMlpImputer(std::int64_t hidden_size,
 }
 
 Tensor PointwiseMlpImputer::forward(const Tensor& x) const {
-  const Tensor h1 = tensor::gelu(l1_->forward(x));
-  const Tensor h2 = tensor::gelu(l2_->forward(h1));
+  const Tensor h1 = l1_->forward(x, tensor::Act::kGelu);
+  const Tensor h2 = l2_->forward(h1, tensor::Act::kGelu);
   const Tensor out = l3_->forward(h2);  // [B, T, 1]
   return tensor::reshape(out, {x.dim(0), x.dim(1)});
 }

@@ -55,10 +55,9 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) const {
 
   const float inv_sqrt_d =
       1.0f / std::sqrt(static_cast<float>(head_dim_));
-  const Tensor scores =
-      mul_scalar(matmul(q, transpose(k, 1, 2)), inv_sqrt_d);  // [BH, T, T]
-  const Tensor attn = softmax(scores, 2);
-  const Tensor ctx = matmul(attn, v);  // [BH, T, Dh]
+  // Scores, softmax and the value product fused into one node; the [T, T]
+  // score matrix never materialises as graph state.
+  const Tensor ctx = attention(q, k, v, inv_sqrt_d);  // [BH, T, Dh]
   return wo_.forward(merge_heads(ctx, b, num_heads_, head_dim_));
 }
 

@@ -22,10 +22,14 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features,
 }
 
 Tensor Linear::forward(const Tensor& x) const {
+  return forward(x, Act::kNone);
+}
+
+Tensor Linear::forward(const Tensor& x, tensor::Act act) const {
   FMNET_CHECK(x.ndim() == 2 || x.ndim() == 3,
               "Linear expects 2-D or 3-D input");
   FMNET_CHECK_EQ(x.shape().back(), in_features_);
-  return matmul(x, weight_) + bias_;
+  return linear_act(x, weight_, bias_, act);
 }
 
 std::vector<Tensor> Linear::parameters() const { return {weight_, bias_}; }
@@ -39,12 +43,7 @@ LayerNorm::LayerNorm(std::int64_t features, float eps)
 
 Tensor LayerNorm::forward(const Tensor& x) const {
   FMNET_CHECK_EQ(x.shape().back(), features_);
-  const std::size_t last = x.ndim() - 1;
-  const Tensor mu = mean(x, last, /*keepdim=*/true);
-  const Tensor centered = x - mu;
-  const Tensor var = mean(square(centered), last, /*keepdim=*/true);
-  const Tensor norm = centered / sqrt(add_scalar(var, eps_));
-  return norm * gamma_ + beta_;
+  return layer_norm(x, gamma_, beta_, eps_);
 }
 
 std::vector<Tensor> LayerNorm::parameters() const { return {gamma_, beta_}; }

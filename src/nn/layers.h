@@ -3,6 +3,7 @@
 #pragma once
 
 #include "nn/module.h"
+#include "tensor/ops.h"
 #include "util/rng.h"
 
 namespace fmnet::nn {
@@ -16,6 +17,9 @@ class Linear : public Module {
          fmnet::Rng& rng);
 
   Tensor forward(const Tensor& x) const;
+  /// Affine map with the activation fused into the same graph node
+  /// (single kernel, single backward) — y = act(x W + b).
+  Tensor forward(const Tensor& x, tensor::Act act) const;
   std::vector<Tensor> parameters() const override;
 
   std::int64_t in_features() const { return in_features_; }

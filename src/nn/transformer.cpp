@@ -22,7 +22,7 @@ TransformerEncoderLayer::TransformerEncoderLayer(std::int64_t d_model,
 Tensor TransformerEncoderLayer::forward(const Tensor& x,
                                         fmnet::Rng& rng) const {
   Tensor h = x + dropout_.forward(attn_.forward(ln1_.forward(x)), rng);
-  const Tensor ff = ff2_.forward(gelu(ff1_.forward(ln2_.forward(h))));
+  const Tensor ff = ff2_.forward(ff1_.forward(ln2_.forward(h), Act::kGelu));
   return h + dropout_.forward(ff, rng);
 }
 

@@ -1,0 +1,198 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "tensor/pool.h"
+#include "util/thread_pool.h"
+
+namespace fmnet::tensor::kernels {
+
+namespace {
+
+// ---- panel kernel, compiled per ISA ---------------------------------------
+
+// The body lives in kernels_panel.inc and is textually included once per
+// instruction set. `baseline` is whatever the build targets (plain builds:
+// the SSE2 x86-64 floor; FMNET_NATIVE builds: the host ISA). On GCC x86-64
+// builds whose baseline lacks AVX2+FMA we additionally compile an
+// AVX2+FMA clone of the same body and pick it at startup when the CPU
+// supports it — the binary stays runnable on any x86-64 machine while
+// getting ~2.5x more GEMM throughput on post-2013 cores. Set
+// FMNET_KERNEL_ISA=portable to pin the baseline kernel (e.g. to compare
+// numbers against a pre-AVX2 machine: FMA contracts a*b+c into one
+// rounding, so the two paths can differ in the last ulp).
+
+namespace baseline {
+#include "tensor/kernels_panel.inc"
+}  // namespace baseline
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !(defined(__AVX2__) && defined(__FMA__))
+#define FMNET_GEMM_AVX2_CLONE 1
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+namespace avx2 {
+#include "tensor/kernels_panel.inc"
+}  // namespace avx2
+#pragma GCC pop_options
+#endif
+
+using PanelFn = void (*)(const float*, std::int64_t, std::int64_t,
+                         const float*, float*, std::int64_t, std::int64_t,
+                         std::int64_t, bool);
+
+PanelFn resolve_panel() {
+#ifdef FMNET_GEMM_AVX2_CLONE
+  const char* isa = std::getenv("FMNET_KERNEL_ISA");
+  const bool pin_portable = isa != nullptr && std::strcmp(isa, "portable") == 0;
+  if (!pin_portable && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return avx2::panel_update;
+  }
+#endif
+  return baseline::panel_update;
+}
+
+PanelFn panel_fn() {
+  static const PanelFn fn = resolve_panel();
+  return fn;
+}
+
+// ---- driver ---------------------------------------------------------------
+
+// Shared driver: A addressed through strides (a_rs/a_cs); B delivered one
+// k-panel at a time by `panel_of(p0, kc)` as a row-major [kc][n] slab.
+// Output row blocks of kRowBlock rows are the parallel work items: every
+// output element is computed start-to-finish by whichever lane owns its row
+// block, and the k/j iteration order inside a block is a pure function of
+// the problem size — never of the partition — so results are bit-identical
+// at any lane count (the determinism contract of util/thread_pool.h).
+// Small problems (2*m*k*n < kParallelFlops) run inline to skip dispatch
+// overhead; the threshold only looks at the problem size, never the lane
+// count. kRowBlock is a multiple of kMR, so row quads never straddle lanes
+// and every row takes the same code path (quad vs tail) under any
+// partition.
+// `accumulate == false` asks the panel kernel to overwrite C on the first
+// k-step instead of requiring the caller to zero C beforehand — for the
+// skinny-k attention products that zeroing pass was comparable to the GEMM
+// itself.
+template <class PanelProvider>
+void gemm_driver(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                 float* c, std::int64_t m, std::int64_t k, std::int64_t n,
+                 util::ThreadPool* pool, bool accumulate,
+                 PanelProvider&& panel_of) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // An empty sum: overwrite mode still owes the caller zeros.
+    if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * 4);
+    return;
+  }
+  const PanelFn panel = panel_fn();
+  const std::int64_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+
+  util::ThreadPool& tp = util::ThreadPool::resolve(pool);
+  const bool parallel =
+      tp.size() > 1 && 2 * m * k * n >= kParallelFlops && row_blocks > 1;
+
+  for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::int64_t kc = std::min(kKC, k - p0);
+    const float* bp = panel_of(p0, kc);
+    const bool overwrite = !accumulate && p0 == 0;
+    const auto run_block = [&](std::int64_t blk) {
+      const std::int64_t i0 = blk * kRowBlock;
+      const std::int64_t rows = std::min(kRowBlock, m - i0);
+      panel(a + i0 * a_rs + p0 * a_cs, a_rs, a_cs, bp, c + i0 * n, rows, kc,
+            n, overwrite);
+    };
+    if (parallel) {
+      tp.parallel_for(0, row_blocks, run_block);
+    } else {
+      for (std::int64_t blk = 0; blk < row_blocks; ++blk) run_block(blk);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, util::ThreadPool* pool,
+          bool accumulate) {
+  // B is already row-major [k, n]: each k-panel is a contiguous slab, no
+  // packing copy needed.
+  gemm_driver(a, /*a_rs=*/k, /*a_cs=*/1, c, m, k, n, pool, accumulate,
+              [b, n](std::int64_t p0, std::int64_t) { return b + p0 * n; });
+}
+
+void gemm_at(const float* at, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, util::ThreadPool* pool,
+             bool accumulate) {
+  // a(i, p) = at[p*m + i]: unit row stride, m-column stride. The panel
+  // kernel hoists A loads out of its inner loop, so the stride is free.
+  gemm_driver(at, /*a_rs=*/1, /*a_cs=*/m, c, m, k, n, pool, accumulate,
+              [b, n](std::int64_t p0, std::int64_t) { return b + p0 * n; });
+}
+
+void gemm_bt(const float* a, const float* bt, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, util::ThreadPool* pool,
+             bool accumulate) {
+  // B arrives transposed ([n, k]); repack each k-panel into a row-major
+  // [kc, n] slab once — O(kc*n) copies amortised over m output rows — so
+  // the panel kernel keeps unit-stride B streams. The pack runs on the
+  // calling thread before lanes fan out, so it is partition-independent.
+  std::vector<float> packed =
+      pool::acquire(static_cast<std::size_t>(std::min(kKC, k) * n));
+  gemm_driver(a, /*a_rs=*/k, /*a_cs=*/1, c, m, k, n, pool, accumulate,
+              [bt, k, n, &packed](std::int64_t p0, std::int64_t kc) {
+                for (std::int64_t j = 0; j < n; ++j) {
+                  const float* src = bt + j * k + p0;
+                  for (std::int64_t p = 0; p < kc; ++p) {
+                    packed[static_cast<std::size_t>(p * n + j)] = src[p];
+                  }
+                }
+                return static_cast<const float*>(packed.data());
+              });
+  pool::release(std::move(packed));
+}
+
+void reference_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void reference_gemm_at(const float* at, const float* b, float* c,
+                       std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = at + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void reference_gemm_bt(const float* a, const float* bt, float* c,
+                       std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = a + i * k;
+      const float* brow = bt + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+}  // namespace fmnet::tensor::kernels

@@ -1,0 +1,84 @@
+// Cache-blocked, row-streaming GEMM kernels — the compute substrate under
+// tensor::matmul and the fused nn ops.
+//
+// All three layout variants accumulate into C by default; passing
+// `accumulate = false` overwrites C instead (the first k-step stores, the
+// rest accumulate), which spares callers a zeroing pass over C — for the
+// skinny-k attention products that pass costs as much as the GEMM itself.
+// Overwrite-into-garbage equals accumulate-into-zeros value-for-value
+// (same k-sum grouping; only the sign of a zero can differ):
+//
+//   gemm    : C[m,n] (+)= A[m,k]   @ B[k,n]
+//   gemm_at : C[m,n] (+)= A[k,m]^T @ B[k,n]   (A given transposed)
+//   gemm_bt : C[m,n] (+)= A[m,k]   @ B[n,k]^T (B given transposed)
+//
+// Scheme: the k dimension is processed in panels of kKC rows of B, each a
+// row-major [kc, n] slab (gemm/gemm_at stream B in place; gemm_bt repacks
+// its transposed B once per panel). The panel kernel advances kMR C rows
+// together with kKU k-steps unrolled, streaming full B rows with
+// branch-free unit-stride inner loops that the compiler auto-vectorizes for
+// whatever ISA it targets. A is read as broadcast scalars through
+// (row, col) strides, which is what lets one kernel serve the normal and
+// transposed-A layouts at full speed. On x86-64 GCC builds the same body is
+// also compiled as an AVX2+FMA clone and selected at startup when the CPU
+// supports it (FMNET_KERNEL_ISA=portable pins the baseline path).
+//
+// Parallelism: output rows are split into fixed kRowBlock-row blocks and
+// sharded across util::ThreadPool lanes. Every output element is computed
+// start-to-finish by whichever lane owns its row block, with a k-order that
+// does not depend on the partition — so results are bit-identical at any
+// lane count (the determinism contract of util/thread_pool.h). Small
+// problems (< kParallelFlops) run inline to skip dispatch overhead; the
+// threshold is a pure function of the problem size, never the lane count.
+//
+// The naive triple-loop reference kernels are retained for tests (and as
+// readable documentation of the contract).
+#pragma once
+
+#include <cstdint>
+
+namespace fmnet::util {
+class ThreadPool;
+}
+
+namespace fmnet::tensor::kernels {
+
+/// Panel-kernel unroll: kMR C rows advance together, kKU k-steps at a time.
+inline constexpr std::int64_t kMR = 4;
+inline constexpr std::int64_t kKU = 4;
+/// k-panel depth: B slabs of at most kKC x n stay cache-resident and bound
+/// gemm_bt's repack scratch.
+inline constexpr std::int64_t kKC = 256;
+/// Rows per parallel work item (a multiple of kMR so row quads never
+/// straddle lanes).
+inline constexpr std::int64_t kRowBlock = 64;
+/// Minimum 2*m*k*n FLOPs before a gemm fans out across pool lanes.
+inline constexpr std::int64_t kParallelFlops = 4ll << 20;
+
+/// C[m,n] (+)= A[m,k] @ B[k,n]. `pool` nullptr = the global pool;
+/// `accumulate` false overwrites C instead of adding into it.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, util::ThreadPool* pool = nullptr,
+          bool accumulate = true);
+
+/// C[m,n] (+)= A[k,m]^T @ B[k,n] (at points at the [k,m] buffer).
+void gemm_at(const float* at, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n,
+             util::ThreadPool* pool = nullptr, bool accumulate = true);
+
+/// C[m,n] (+)= A[m,k] @ B[n,k]^T (bt points at the [n,k] buffer).
+void gemm_bt(const float* a, const float* bt, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n,
+             util::ThreadPool* pool = nullptr, bool accumulate = true);
+
+// Naive i-k-j reference implementations (single-threaded, no blocking).
+// Used by the kernel tests as ground truth; same accumulate-into-C
+// contract as the fast kernels.
+void reference_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n);
+void reference_gemm_at(const float* at, const float* b, float* c,
+                       std::int64_t m, std::int64_t k, std::int64_t n);
+void reference_gemm_bt(const float* a, const float* bt, float* c,
+                       std::int64_t m, std::int64_t k, std::int64_t n);
+
+}  // namespace fmnet::tensor::kernels

@@ -1,58 +1,15 @@
-#include <cstring>
-
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "util/check.h"
 
 namespace fmnet::tensor {
 
-namespace {
-
-// C[m,n] += A[m,k] @ B[k,n] over raw pointers (row-major). The i-k-j loop
-// order keeps the inner loop contiguous on both B and C.
-void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
-              std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,n] += A[m,k] @ B[n,k]^T  (i.e. B given transposed).
-void gemm_bt_acc(const float* a, const float* bt, float* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* arow = a + i * k;
-      const float* brow = bt + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] += acc;
-    }
-  }
-}
-
-// C[m,n] += A[k,m]^T @ B[k,n]  (i.e. A given transposed).
-void gemm_at_acc(const float* at, const float* b, float* c, std::int64_t m,
-                 std::int64_t k, std::int64_t n) {
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = at + p * m;
-    const float* brow = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
+// Forward and both gradient products run on the blocked kernels
+// (tensor/kernels.h). When the rhs is shared 2-D, the batch and row
+// dimensions of the lhs fold into a single (batch*m, k) GEMM — one large
+// kernel call instead of `batch` small ones, which is also what lets the
+// row-sharded parallel path see enough rows to fan out.
 Tensor matmul(const Tensor& a, const Tensor& b) {
   const Shape& as = a.shape();
   const Shape& bs = b.shape();
@@ -77,12 +34,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
 
   Shape out_shape = batched_a ? Shape{batch, m, n} : Shape{m, n};
-  std::vector<float> out(static_cast<std::size_t>(numel(out_shape)), 0.0f);
+  std::vector<float> out =
+      pool::acquire(static_cast<std::size_t>(numel(out_shape)));
   const float* ap = a.data().data();
   const float* bp = b.data().data();
-  for (std::int64_t e = 0; e < batch; ++e) {
-    gemm_acc(ap + e * m * k, batched_b ? bp + e * k * n : bp,
-             out.data() + e * m * n, m, k, n);
+  if (!batched_b) {
+    kernels::gemm(ap, bp, out.data(), batch * m, k, n, /*pool=*/nullptr,
+                  /*accumulate=*/false);
+  } else {
+    for (std::int64_t e = 0; e < batch; ++e) {
+      kernels::gemm(ap + e * m * k, bp + e * k * n, out.data() + e * m * n,
+                    m, k, n, /*pool=*/nullptr, /*accumulate=*/false);
+    }
   }
 
   auto an = a.node();
@@ -93,21 +56,28 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         const float* go = o.grad.data();
         if (an->requires_grad) {
           an->ensure_grad();
-          // dA = dC @ B^T, per batch element.
-          for (std::int64_t e = 0; e < batch; ++e) {
-            const float* bp2 =
-                bn->cdata().data() + (batched_b ? e * k * n : 0);
-            gemm_bt_acc(go + e * m * n, bp2, an->grad.data() + e * m * k, m,
-                        n, k);
+          // dA = dC @ B^T.
+          if (!batched_b) {
+            kernels::gemm_bt(go, bn->cdata().data(), an->grad.data(),
+                             batch * m, n, k);
+          } else {
+            for (std::int64_t e = 0; e < batch; ++e) {
+              kernels::gemm_bt(go + e * m * n, bn->cdata().data() + e * k * n,
+                               an->grad.data() + e * m * k, m, n, k);
+            }
           }
         }
         if (bn->requires_grad) {
           bn->ensure_grad();
-          // dB = A^T @ dC; when rhs is shared 2-D, sum over the batch.
-          for (std::int64_t e = 0; e < batch; ++e) {
-            float* gb = bn->grad.data() + (batched_b ? e * k * n : 0);
-            gemm_at_acc(an->cdata().data() + e * m * k, go + e * m * n, gb, k,
-                        m, n);
+          // dB = A^T @ dC; a shared 2-D rhs sums over the folded batch rows.
+          if (!batched_b) {
+            kernels::gemm_at(an->cdata().data(), go, bn->grad.data(), k,
+                             batch * m, n);
+          } else {
+            for (std::int64_t e = 0; e < batch; ++e) {
+              kernels::gemm_at(an->cdata().data() + e * m * k, go + e * m * n,
+                               bn->grad.data() + e * k * n, k, m, n);
+            }
           }
         }
       });

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/activations.h"
 #include "tensor/broadcast.h"
+#include "tensor/pool.h"
 #include "util/check.h"
 
 namespace fmnet::tensor {
@@ -13,30 +15,53 @@ namespace {
 // F:  (a, b) -> out
 // DA: (a, b, gout) -> grad contribution to a
 // DB: (a, b, gout) -> grad contribution to b
+//
+// Equal-shape inputs (the common case: residual adds, dropout masks, loss
+// residuals) skip the mixed-radix broadcast iterator for plain unit-stride
+// loops, forward and backward.
 template <class F, class DA, class DB>
 Tensor binary_op(const Tensor& a, const Tensor& b, F f, DA da, DB db) {
-  const Shape out_shape = detail::broadcast_shape(a.shape(), b.shape());
-  const auto sa = detail::aligned_strides(a.shape(), out_shape);
-  const auto sb = detail::aligned_strides(b.shape(), out_shape);
-  std::vector<float> out(static_cast<std::size_t>(numel(out_shape)));
+  const bool same_shape = a.shape() == b.shape();
+  const Shape out_shape =
+      same_shape ? a.shape() : detail::broadcast_shape(a.shape(), b.shape());
+  std::vector<float> out =
+      pool::acquire(static_cast<std::size_t>(numel(out_shape)));
   const auto& av = a.data();
   const auto& bv = b.data();
-  detail::for_each_bcast2(out_shape, sa, sb,
-                          [&](std::int64_t n, std::int64_t ia,
-                              std::int64_t ib) {
-                            out[static_cast<std::size_t>(n)] =
-                                f(av[static_cast<std::size_t>(ia)],
-                                  bv[static_cast<std::size_t>(ib)]);
-                          });
+  if (same_shape) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = f(av[i], bv[i]);
+  } else {
+    const auto sa = detail::aligned_strides(a.shape(), out_shape);
+    const auto sb = detail::aligned_strides(b.shape(), out_shape);
+    detail::for_each_bcast2(out_shape, sa, sb,
+                            [&](std::int64_t n, std::int64_t ia,
+                                std::int64_t ib) {
+                              out[static_cast<std::size_t>(n)] =
+                                  f(av[static_cast<std::size_t>(ia)],
+                                    bv[static_cast<std::size_t>(ib)]);
+                            });
+  }
   auto an = a.node();
   auto bn = b.node();
   return make_op_result(
       out_shape, std::move(out), {a, b},
-      [an, bn, out_shape, sa, sb, da, db](Node& o) {
+      [an, bn, out_shape, same_shape, da, db](Node& o) {
         const bool need_a = an->requires_grad;
         const bool need_b = bn->requires_grad;
         if (need_a) an->ensure_grad();
         if (need_b) bn->ensure_grad();
+        if (same_shape) {
+          const auto& xv = an->cdata();
+          const auto& yv = bn->cdata();
+          for (std::size_t i = 0; i < o.grad.size(); ++i) {
+            const float g = o.grad[i];
+            if (need_a) an->grad[i] += da(xv[i], yv[i], g);
+            if (need_b) bn->grad[i] += db(xv[i], yv[i], g);
+          }
+          return;
+        }
+        const auto sa = detail::aligned_strides(an->shape, out_shape);
+        const auto sb = detail::aligned_strides(bn->shape, out_shape);
         detail::for_each_bcast2(
             out_shape, sa, sb,
             [&](std::int64_t n, std::int64_t ia, std::int64_t ib) {
@@ -53,7 +78,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, DA da, DB db) {
 // F: x -> out; D: (x, out, gout) -> grad contribution to x.
 template <class F, class D>
 Tensor unary_op(const Tensor& a, F f, D d) {
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = pool::acquire(a.data().size());
   const auto& av = a.data();
   for (std::size_t i = 0; i < av.size(); ++i) out[i] = f(av[i]);
   auto an = a.node();
@@ -165,26 +190,14 @@ Tensor sigmoid(const Tensor& a) {
 
 Tensor relu(const Tensor& a) {
   return unary_op(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+      a, [](float x) { return detail::relu_value(x); },
+      [](float x, float, float g) { return g * detail::relu_grad(x); });
 }
 
 Tensor gelu(const Tensor& a) {
-  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  constexpr float kA = 0.044715f;
   return unary_op(
-      a,
-      [](float x) {
-        const float inner = kC * (x + kA * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(inner));
-      },
-      [](float x, float, float g) {
-        const float inner = kC * (x + kA * x * x * x);
-        const float t = std::tanh(inner);
-        const float dinner = kC * (1.0f + 3.0f * kA * x * x);
-        return g * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner);
-      });
+      a, [](float x) { return detail::gelu_value(x); },
+      [](float x, float, float g) { return g * detail::gelu_grad(x); });
 }
 
 Tensor square(const Tensor& a) {

@@ -59,6 +59,38 @@ Tensor clamp(const Tensor& a, float lo, float hi);
 ///   (b,m,k) x (b,k,n) -> (b,m,n)   (batched)
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+// ---- fused composite ops (single graph node, hand-written backward) --------
+
+/// Activation applied by linear_act after the affine map.
+enum class Act { kNone, kRelu, kGelu };
+
+/// act(x @ w + b) in one node. x: [.., k] (2-D or 3-D), w: [k, n], b: [n];
+/// output has x's shape with the last dim replaced by n. Equivalent to
+/// (gelu|relu)?(matmul(x, w) + b) with gradients to x, w and b.
+Tensor linear_act(const Tensor& x, const Tensor& w, const Tensor& b,
+                  Act act = Act::kNone);
+
+/// Layer normalisation over the last axis with learnable gain/bias:
+/// (x - mean) / sqrt(var + eps) * gamma + beta, fused forward+backward.
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps = 1e-5f);
+
+/// scale * (a @ b^T), batched over the leading dim when 3-D:
+///   (t,d) x (s,d)     -> (t,s)
+///   (b,t,d) x (b,s,d) -> (b,t,s)
+/// One node for the attention score product — no materialised transpose,
+/// no separate scaling node.
+Tensor scaled_matmul_bt(const Tensor& a, const Tensor& b, float scale = 1.0f);
+
+/// Whole scaled-dot-product attention block in one node:
+///   softmax(scale * q @ k^T, last axis) @ v
+/// q: [b,t,d], k: [b,s,d], v: [b,s,d] -> [b,t,d]; scale must be positive.
+/// Equivalent to matmul(softmax(scaled_matmul_bt(q, k, scale), 2), v), but
+/// the [t,s] score matrix stays internal scratch — it never becomes graph
+/// state, so no score-sized gradient buffers are zeroed or accumulated.
+Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                 float scale);
+
 // ---- reductions ------------------------------------------------------------
 
 /// Sum of all elements -> scalar.

@@ -1,0 +1,67 @@
+// Thread-safe size-bucketed recycling pool for tensor element buffers.
+//
+// Every op result and gradient buffer in the autograd graph is a
+// std::vector<float> that lives for one forward+backward sweep and is then
+// thrown away; at training time that is thousands of sizeable allocations
+// per epoch. The pool intercepts that churn: ops acquire() their output
+// storage here, and Node::~Node releases storage and grad buffers back, so
+// steady-state training reuses the same handful of buffers every step.
+//
+// Rules:
+//  * Buffers are bucketed by capacity class (power of two). acquire(n)
+//    returns a vector of size exactly n whose *contents are unspecified* —
+//    callers must write every element. acquire_zero(n) zero-fills.
+//  * Allocations below kMinPooledFloats bypass the pool entirely (tiny
+//    scalar nodes would otherwise serialize on the pool mutex for no win).
+//  * The pool is bounded (per-bucket buffer cap + global byte cap); release
+//    beyond the caps simply frees the buffer.
+//  * Reuse is invisible to results: every op fully initialises its output,
+//    and grad buffers are zero-filled on (re)creation, so outputs are
+//    bit-identical with the pool on or off (FMNET_TENSOR_POOL=0 disables
+//    it to make that claim testable).
+//  * Hit/miss/bypass/drop counts are mirrored into obs counters
+//    ("tensor.pool.*") for the metrics export.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fmnet::tensor::pool {
+
+/// Buffers smaller than this many floats are never pooled.
+inline constexpr std::size_t kMinPooledFloats = 1024;
+
+/// Vector of size n, contents unspecified (recycled buffers carry stale
+/// values) — the caller must write every element before it is read.
+std::vector<float> acquire(std::size_t n);
+
+/// Vector of size n, all zeros.
+std::vector<float> acquire_zero(std::size_t n);
+
+/// Returns a buffer to the pool (or frees it when over the caps / below
+/// the pooling threshold). Safe to call with a moved-from or empty vector.
+void release(std::vector<float>&& buf);
+
+/// Cumulative pool telemetry since process start (or the last clear()).
+struct Stats {
+  std::int64_t hits = 0;      ///< acquire() served from the pool
+  std::int64_t misses = 0;    ///< acquire() had to allocate
+  std::int64_t bypasses = 0;  ///< acquire() below kMinPooledFloats
+  std::int64_t releases = 0;  ///< buffers accepted back
+  std::int64_t drops = 0;     ///< buffers refused (caps / threshold)
+  std::int64_t reused_bytes = 0;  ///< bytes served from recycled buffers
+  std::int64_t cached_buffers = 0;  ///< currently held buffers
+  std::int64_t cached_bytes = 0;    ///< currently held bytes (capacity)
+};
+Stats stats();
+
+/// Frees every cached buffer (stats counters other than cached_* persist).
+void clear();
+
+/// Pooling is on unless FMNET_TENSOR_POOL=0 was set at startup or
+/// set_enabled(false) was called; when off, acquire/release degrade to
+/// plain allocation/free.
+bool enabled();
+void set_enabled(bool on);
+
+}  // namespace fmnet::tensor::pool

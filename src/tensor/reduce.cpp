@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "util/check.h"
 
 namespace fmnet::tensor {
@@ -56,7 +57,8 @@ Tensor mean(const Tensor& a) {
 Tensor sum(const Tensor& a, std::size_t axis, bool keepdim) {
   const AxisView v = axis_view(a.shape(), axis);
   Shape out_shape = reduced_shape(a.shape(), axis, keepdim);
-  std::vector<float> out(static_cast<std::size_t>(v.outer * v.inner), 0.0f);
+  std::vector<float> out =
+      pool::acquire_zero(static_cast<std::size_t>(v.outer * v.inner));
   const auto& av = a.data();
   for (std::int64_t o = 0; o < v.outer; ++o) {
     for (std::int64_t l = 0; l < v.len; ++l) {
@@ -95,7 +97,8 @@ Tensor max(const Tensor& a, std::size_t axis, bool keepdim) {
   const AxisView v = axis_view(a.shape(), axis);
   FMNET_CHECK_GT(v.len, 0);
   Shape out_shape = reduced_shape(a.shape(), axis, keepdim);
-  std::vector<float> out(static_cast<std::size_t>(v.outer * v.inner));
+  std::vector<float> out =
+      pool::acquire(static_cast<std::size_t>(v.outer * v.inner));
   std::vector<std::int64_t> argmax(out.size());
   const auto& av = a.data();
   for (std::int64_t o = 0; o < v.outer; ++o) {
@@ -138,56 +141,11 @@ Tensor max_all(const Tensor& a) {
   });
 }
 
-Tensor softmax(const Tensor& a, std::size_t axis) {
-  const AxisView v = axis_view(a.shape(), axis);
-  std::vector<float> out(a.data().size());
-  const auto& av = a.data();
-  for (std::int64_t o = 0; o < v.outer; ++o) {
-    for (std::int64_t i = 0; i < v.inner; ++i) {
-      float mx = -std::numeric_limits<float>::infinity();
-      for (std::int64_t l = 0; l < v.len; ++l) {
-        mx = std::max(mx,
-                      av[static_cast<std::size_t>((o * v.len + l) * v.inner +
-                                                  i)]);
-      }
-      float denom = 0.0f;
-      for (std::int64_t l = 0; l < v.len; ++l) {
-        const auto idx = static_cast<std::size_t>((o * v.len + l) * v.inner +
-                                                  i);
-        out[idx] = std::exp(av[idx] - mx);
-        denom += out[idx];
-      }
-      for (std::int64_t l = 0; l < v.len; ++l) {
-        out[static_cast<std::size_t>((o * v.len + l) * v.inner + i)] /= denom;
-      }
-    }
-  }
-  auto an = a.node();
-  return make_op_result(
-      a.shape(), std::move(out), {a}, [an, v](Node& o) {
-        an->ensure_grad();
-        // dx = y * (g - sum(g * y)) per softmax fibre.
-        for (std::int64_t ou = 0; ou < v.outer; ++ou) {
-          for (std::int64_t i = 0; i < v.inner; ++i) {
-            float dot = 0.0f;
-            for (std::int64_t l = 0; l < v.len; ++l) {
-              const auto idx = static_cast<std::size_t>(
-                  (ou * v.len + l) * v.inner + i);
-              dot += o.grad[idx] * o.cdata()[idx];
-            }
-            for (std::int64_t l = 0; l < v.len; ++l) {
-              const auto idx = static_cast<std::size_t>(
-                  (ou * v.len + l) * v.inner + i);
-              an->grad[idx] += o.cdata()[idx] * (o.grad[idx] - dot);
-            }
-          }
-        }
-      });
-}
+// softmax lives in fused.cpp (single-pass fast path for the last axis).
 
 Tensor cumsum(const Tensor& a, std::size_t axis) {
   const AxisView v = axis_view(a.shape(), axis);
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = pool::acquire(a.data().size());
   const auto& av = a.data();
   for (std::int64_t o = 0; o < v.outer; ++o) {
     for (std::int64_t i = 0; i < v.inner; ++i) {

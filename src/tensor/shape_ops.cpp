@@ -1,14 +1,18 @@
 #include <algorithm>
 
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "util/check.h"
 
 namespace fmnet::tensor {
 
 Tensor reshape(const Tensor& a, Shape shape) {
   FMNET_CHECK_EQ(numel(shape), a.numel());
+  const auto& av = a.data();
+  std::vector<float> out = pool::acquire(av.size());
+  std::copy(av.begin(), av.end(), out.begin());
   auto an = a.node();
-  return make_op_result(std::move(shape), a.data(), {a}, [an](Node& o) {
+  return make_op_result(std::move(shape), std::move(out), {a}, [an](Node& o) {
     an->ensure_grad();
     for (std::size_t i = 0; i < o.grad.size(); ++i) an->grad[i] += o.grad[i];
   });
@@ -26,7 +30,7 @@ Tensor transpose(const Tensor& a, std::size_t axis0, std::size_t axis1) {
   std::swap(perm_strides[axis0], perm_strides[axis1]);
 
   const std::int64_t n = a.numel();
-  std::vector<float> out(static_cast<std::size_t>(n));
+  std::vector<float> out = pool::acquire(static_cast<std::size_t>(n));
   std::vector<std::int64_t> src(static_cast<std::size_t>(n));
   // Walk the output in row-major order; the matching input offset follows
   // the permuted strides.
@@ -75,7 +79,8 @@ Tensor slice(const Tensor& a, std::size_t axis, std::int64_t start,
   const std::int64_t in_len = in_shape[axis];
   const std::int64_t out_len = stop - start;
 
-  std::vector<float> out(static_cast<std::size_t>(outer * out_len * inner));
+  std::vector<float> out =
+      pool::acquire(static_cast<std::size_t>(outer * out_len * inner));
   const auto& av = a.data();
   for (std::int64_t o = 0; o < outer; ++o) {
     const float* src = av.data() + (o * in_len + start) * inner;
@@ -116,7 +121,8 @@ Tensor cat(const std::vector<Tensor>& parts, std::size_t axis) {
   std::int64_t inner = 1;
   for (std::size_t i = axis + 1; i < first.size(); ++i) inner *= first[i];
 
-  std::vector<float> out(static_cast<std::size_t>(outer * total_len * inner));
+  std::vector<float> out =
+      pool::acquire(static_cast<std::size_t>(outer * total_len * inner));
   std::vector<std::int64_t> lens;
   lens.reserve(parts.size());
   for (const Tensor& p : parts) lens.push_back(p.shape()[axis]);

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/pool.h"
 #include "util/check.h"
 
 namespace fmnet::tensor {
@@ -37,8 +38,22 @@ std::string shape_to_string(const Shape& shape) {
   return os.str();
 }
 
+Node::~Node() {
+  // use_count() == 1 means this node is the storage's only owner, so the
+  // buffer would be freed here anyway — recycle it instead. Racing
+  // destructors on a shared buffer both observe count > 1 and skip, so a
+  // buffer can never be pooled twice.
+  if (storage && storage.use_count() == 1) {
+    pool::release(std::move(*storage));
+  }
+  if (!grad.empty()) pool::release(std::move(grad));
+}
+
 std::vector<float>& Node::ensure_grad() {
-  if (grad.size() != storage->size()) grad.assign(storage->size(), 0.0f);
+  if (grad.size() != storage->size()) {
+    if (!grad.empty()) pool::release(std::move(grad));
+    grad = pool::acquire_zero(storage->size());
+  }
   return grad;
 }
 
@@ -56,7 +71,7 @@ std::shared_ptr<Node> make_leaf(Shape shape, std::vector<float> data,
 
 Tensor Tensor::zeros(Shape shape, bool requires_grad) {
   const auto n = static_cast<std::size_t>(tensor::numel(shape));
-  return Tensor(make_leaf(std::move(shape), std::vector<float>(n, 0.0f),
+  return Tensor(make_leaf(std::move(shape), pool::acquire_zero(n),
                           requires_grad));
 }
 
@@ -66,8 +81,9 @@ Tensor Tensor::ones(Shape shape, bool requires_grad) {
 
 Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
   const auto n = static_cast<std::size_t>(tensor::numel(shape));
-  return Tensor(make_leaf(std::move(shape), std::vector<float>(n, value),
-                          requires_grad));
+  std::vector<float> data = pool::acquire(n);
+  std::fill(data.begin(), data.end(), value);
+  return Tensor(make_leaf(std::move(shape), std::move(data), requires_grad));
 }
 
 Tensor Tensor::from_vector(std::vector<float> data, Shape shape,

@@ -134,6 +134,11 @@ struct Node {
   /// closure->self shared_ptr cycle) into parents' grads.
   std::function<void(Node& out)> backward_fn;
 
+  Node() = default;
+  /// Returns the storage (when this node is its last owner) and the grad
+  /// buffer to the tensor buffer pool for reuse by later ops.
+  ~Node();
+
   /// Read-only view of the flat element buffer.
   const std::vector<float>& cdata() const { return *storage; }
 

@@ -14,6 +14,9 @@
 #include "obs/metrics.h"
 #include "telemetry/dataset.h"
 #include "telemetry/monitors.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -142,6 +145,63 @@ TEST(Determinism, MetricsCollectionDoesNotPerturbOutputs) {
   EXPECT_EQ(cem_off.corrected, cem_on.corrected);
 }
 
+TEST(Determinism, GemmRowShardingIdenticalAcrossThreadCounts) {
+  // The blocked GEMM shards output row blocks across lanes; every element
+  // is computed start-to-finish by one lane in a partition-independent
+  // k-order, so the result must be bit-identical at any lane count — with
+  // the buffer pool active (its recycled packing buffers carry stale
+  // contents that must never leak into results).
+  Rng rng(31);
+  const std::int64_t m = 192;
+  const std::int64_t k = 128;
+  const std::int64_t n = 96;
+  ASSERT_GE(2 * m * k * n, tensor::kernels::kParallelFlops);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  for (int round = 0; round < 3; ++round) {  // re-runs hit recycled buffers
+    std::vector<float> c1(static_cast<std::size_t>(m * n), 0.0f);
+    std::vector<float> c8 = c1;
+    tensor::kernels::gemm(a.data(), b.data(), c1.data(), m, k, n, &one);
+    tensor::kernels::gemm(a.data(), b.data(), c8.data(), m, k, n, &eight);
+    EXPECT_EQ(c1, c8) << "round " << round;
+  }
+}
+
+TEST(Determinism, PooledTensorOpsMatchUnpooled) {
+  // Buffer recycling must be invisible: the same graph computed with the
+  // pool on and off yields bit-identical outputs and gradients.
+  auto run = [] {
+    Rng rng(37);
+    tensor::Tensor x = tensor::Tensor::randn({16, 80}, rng, 1.0f, true);
+    tensor::Tensor w = tensor::Tensor::randn({80, 48}, rng, 0.1f, true);
+    tensor::Tensor b = tensor::Tensor::zeros({48}, true);
+    // Two steps so the second runs against a warm pool.
+    std::vector<float> out;
+    for (int step = 0; step < 2; ++step) {
+      tensor::Tensor h = tensor::linear_act(x, w, b, tensor::Act::kGelu);
+      tensor::Tensor s = tensor::softmax(h, 1);
+      tensor::Tensor loss = tensor::sum(tensor::square(s));
+      loss.backward();
+      out.push_back(loss.item());
+    }
+    const auto& g = x.grad();
+    out.insert(out.end(), g.begin(), g.end());
+    return out;
+  };
+  const bool was = tensor::pool::enabled();
+  tensor::pool::set_enabled(true);
+  const auto pooled = run();
+  tensor::pool::set_enabled(false);
+  const auto unpooled = run();
+  tensor::pool::set_enabled(was);
+  EXPECT_EQ(pooled, unpooled);
+}
+
 TEST(Determinism, TrainingIdenticalAcrossThreadCounts) {
   // Full training run — shuffling, dropout, KAL multiplier updates,
   // gradient reduction, Adam — must yield bit-identical weights whether
@@ -188,6 +248,9 @@ TEST(Determinism, TrainingIdenticalAcrossThreadCounts) {
   for (std::size_t p = 0; p < pa.size(); ++p) {
     EXPECT_EQ(pa[p].data(), pb[p].data()) << "parameter " << p;
   }
+  // Inference through the trained weights (pooled tensor path) must agree
+  // bit-for-bit too, not just the stored parameters.
+  EXPECT_EQ(imp_one.impute(examples[0]), imp_eight.impute(examples[0]));
 }
 
 }  // namespace
