@@ -8,12 +8,8 @@
 //     predict net inflow, derive queues through the Lindley recursion).
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
-#include "impute/alt_models.h"
-#include "impute/rate_imputer.h"
-#include "impute/transformer_imputer.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -24,61 +20,29 @@ int main() {
   bench::print_header(
       "Architecture ablation — MLP vs BiGRU vs Transformer vs RateNet");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42, 5'000));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  core::Scenario s = bench::default_scenario(42, 5'000);
+  s.train.epochs = static_cast<int>(
+      bench::env_int("FMNET_EPOCHS", fast_mode() ? 4 : 25));
+
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
   core::Table1Evaluator evaluator(campaign, data);
 
   Table table({"model", "train (s)", "a. max", "b. periodic",
                "d. burst det", "e. burst height", "h. empty freq"});
-  auto add_row = [&](const core::Table1Row& row, double seconds) {
+
+  for (const char* method : {"mlp", "gru", "transformer", "rate"}) {
+    Stopwatch sw;
+    const auto built = engine.fit_method(s, method, data);
+    const double seconds = sw.elapsed_seconds();
+    const core::Table1Row row = evaluator.evaluate(*built.imputer);
     table.add_row({row.method, Table::fmt(seconds, 1),
                    Table::fmt(row.max_constraint),
                    Table::fmt(row.periodic_constraint),
                    Table::fmt(row.burst_detection),
                    Table::fmt(row.burst_height),
                    Table::fmt(row.empty_queue_freq)});
-  };
-
-  const int epochs = static_cast<int>(
-      bench::env_int("FMNET_EPOCHS", fast_mode() ? 4 : 25));
-
-  {
-    impute::AltTrainConfig cfg;
-    cfg.epochs = epochs;
-    impute::PointwiseMlpImputer mlp(32, cfg);
-    Stopwatch sw;
-    mlp.train(data.split.train);
-    const double s = sw.elapsed_seconds();
-    add_row(evaluator.evaluate(mlp), s);
-  }
-  {
-    impute::AltTrainConfig cfg;
-    cfg.epochs = epochs;
-    impute::BiGruImputer gru(16, cfg);
-    Stopwatch sw;
-    gru.train(data.split.train);
-    const double s = sw.elapsed_seconds();
-    add_row(evaluator.evaluate(gru), s);
-  }
-  {
-    auto cfg = bench::default_training(false);
-    cfg.epochs = epochs;
-    impute::TransformerImputer tr(bench::default_model(), cfg);
-    Stopwatch sw;
-    tr.train(data.split.train);
-    const double s = sw.elapsed_seconds();
-    add_row(evaluator.evaluate(tr), s);
-  }
-  {
-    impute::RateImputerConfig cfg;
-    cfg.model = bench::default_model();
-    cfg.epochs = epochs;
-    impute::PhysicsRateImputer rate(cfg);
-    Stopwatch sw;
-    rate.train(data.split.train);
-    const double s = sw.elapsed_seconds();
-    add_row(evaluator.evaluate(rate), s);
   }
 
   table.print(std::cout);

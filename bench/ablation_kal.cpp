@@ -6,11 +6,9 @@
 // incorporated").
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/transformer_imputer.h"
+#include "impute/registry.h"
 #include "util/table.h"
 
 using namespace fmnet;
@@ -19,9 +17,10 @@ int main() {
   bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Ablation — KAL penalty weight and CEM interaction");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42, 5'000));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  const core::Scenario s = bench::default_scenario(42, 5'000);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
   core::Table1Evaluator evaluator(campaign, data);
 
   Table table({"variant", "a. max", "b. periodic", "c. sent",
@@ -44,20 +43,17 @@ int main() {
   };
 
   for (const auto& v : variants) {
-    auto cfg = bench::default_training(v.use_kal);
-    cfg.kal_mu = v.mu;
-    cfg.kal_weight = v.weight;
-    auto model = std::make_shared<impute::TransformerImputer>(
-        bench::default_model(), cfg);
-    model->train(data.split.train);
-
-    core::Table1Row row;
+    core::Scenario sv = s;
+    sv.train.kal_mu = v.mu;
+    sv.train.kal_weight = v.weight;
+    auto built = engine.fit_method(
+        sv, v.use_kal ? "transformer+kal" : "transformer", data);
     if (v.with_cem) {
-      impute::KnowledgeAugmentedImputer full(model);
-      row = evaluator.evaluate(full);
-    } else {
-      row = evaluator.evaluate(*model);
+      impute::MethodParams params;
+      params.cem = sv.cem;
+      built = impute::Registry::with_cem(built, params);
     }
+    const core::Table1Row row = evaluator.evaluate(*built.imputer);
     table.add_row({v.label, Table::fmt(row.max_constraint),
                    Table::fmt(row.periodic_constraint),
                    Table::fmt(row.sent_constraint),

@@ -7,10 +7,8 @@
 // burst-location rows of Table 1.
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
-#include "impute/transformer_imputer.h"
 #include "util/table.h"
 
 using namespace fmnet;
@@ -19,9 +17,10 @@ int main() {
   bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Ablation — EMD vs MSE training loss (paper §4)");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42, 5'000));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  const core::Scenario s = bench::default_scenario(42, 5'000);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
   core::Table1Evaluator evaluator(campaign, data);
 
   Table table({"loss", "d. burst det", "e. burst height", "f. burst freq",
@@ -30,11 +29,10 @@ int main() {
   double mse_det = 0.0;
   for (const auto loss : {impute::TrainConfig::Loss::kEmd,
                           impute::TrainConfig::Loss::kMse}) {
-    auto cfg = bench::default_training(false);
-    cfg.loss = loss;
-    impute::TransformerImputer model(bench::default_model(), cfg);
-    model.train(data.split.train);
-    const auto row = evaluator.evaluate(model);
+    core::Scenario sv = s;
+    sv.train.loss = loss;
+    const auto model = engine.fit_method(sv, "transformer", data);
+    const auto row = evaluator.evaluate(*model.imputer);
     const bool is_emd = loss == impute::TrainConfig::Loss::kEmd;
     (is_emd ? emd_det : mse_det) = row.burst_detection + row.burst_height;
     table.add_row({is_emd ? "EMD" : "MSE", Table::fmt(row.burst_detection),

@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <memory>
 
+#include "core/engine.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
+#include "core/scenario.h"
 #include "impute/transformer_imputer.h"
 #include "obs/export.h"
 #include "util/string_util.h"
@@ -85,6 +87,22 @@ inline impute::TrainConfig default_training(bool use_kal,
   cfg.use_kal = use_kal;
   cfg.seed = seed;
   return cfg;
+}
+
+/// The bench defaults bundled as a Scenario, ready for core::Engine: the
+/// default campaign plus the default model/training hyper-parameters
+/// (use_kal is selected per method by the imputer registry, not here).
+/// Callers set `methods` themselves. With FMNET_ARTIFACT_DIR set, bench
+/// re-runs then serve simulation and transformer training from the
+/// artifact cache.
+inline core::Scenario default_scenario(std::uint64_t seed = 42,
+                                       std::int64_t full_ms = 10'000) {
+  core::Scenario s;
+  s.name = "bench";
+  s.campaign = default_campaign(seed, full_ms);
+  s.model = default_model();
+  s.train = default_training(/*use_kal=*/false);
+  return s;
 }
 
 inline void print_header(const char* title) {

@@ -20,9 +20,10 @@ int main() {
   bench::ScopedMetricsDump metrics_dump;
   bench::print_header("CEM correction runtime per 50 ms interval");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  const core::Scenario s = bench::default_scenario(42);
+  core::Engine eng;
+  const core::Campaign campaign = eng.campaign(s.campaign);
+  const core::PreparedData data = eng.prepare(s, campaign);
 
   // A deliberately-inconsistent input: the naive baseline, which violates
   // all three constraints, so CEM has real work to do.

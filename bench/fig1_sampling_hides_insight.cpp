@@ -22,9 +22,10 @@ int main() {
   bench::print_header(
       "Figure 1 — coarse sampling hides incidents; series are correlated");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  const core::Scenario s = bench::default_scenario(42);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
 
   // Busiest queue = largest total queue mass.
   std::size_t busiest = 0;

@@ -6,12 +6,9 @@
 // misses the known max, (c) approaches the max, (d) exactly consistent.
 #include <algorithm>
 #include <cstdio>
-#include <memory>
 
 #include "bench_common.h"
-#include "impute/iterative_imputer.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/linear_interp.h"
+#include "impute/registry.h"
 #include "nn/kal.h"
 #include "util/csv.h"
 
@@ -21,19 +18,18 @@ int main() {
   bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Figure 4 — one incident, four imputation methods");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42, 6'000));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  const core::Scenario s = bench::default_scenario(42, 6'000);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
 
-  // Train the two transformer variants.
-  auto plain = std::make_shared<impute::TransformerImputer>(
-      bench::default_model(), bench::default_training(false));
-  plain->train(data.split.train);
-  auto kal = std::make_shared<impute::TransformerImputer>(
-      bench::default_model(), bench::default_training(true));
-  kal->train(data.split.train);
-  impute::IterativeImputer iter;
-  impute::KnowledgeAugmentedImputer full(kal);
+  // Fit the four variants; +CEM wraps the fitted KAL model.
+  const auto iter = engine.fit_method(s, "iterative", data);
+  const auto plain = engine.fit_method(s, "transformer", data);
+  const auto kal = engine.fit_method(s, "transformer+kal", data);
+  impute::MethodParams params;
+  params.cem = s.cem;
+  const auto full = impute::Registry::with_cem(kal, params);
 
   // Pick the most bursty *test* window: largest max/mean contrast.
   const telemetry::ImputationExample* incident = nullptr;
@@ -59,10 +55,10 @@ int main() {
   for (std::size_t t = 0; t < incident->window; ++t) {
     truth[t] = campaign.gt.queue_len[incident->queue][incident->start_ms + t];
   }
-  const auto a = iter.impute(*incident);
-  const auto b = plain->impute(*incident);
-  const auto c = kal->impute(*incident);
-  const auto d = full.impute(*incident);
+  const auto a = iter.imputer->impute(*incident);
+  const auto b = plain.imputer->impute(*incident);
+  const auto c = kal.imputer->impute(*incident);
+  const auto d = full.imputer->impute(*incident);
 
   const double v_max = *std::max_element(truth.begin(), truth.end());
   auto decimate = [](const std::vector<double>& v) {

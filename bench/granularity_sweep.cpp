@@ -5,11 +5,9 @@
 // vs the naive baseline.
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/linear_interp.h"
+#include "impute/registry.h"
 #include "util/table.h"
 
 using namespace fmnet;
@@ -18,8 +16,9 @@ int main() {
   bench::ScopedMetricsDump metrics_dump;
   bench::print_header("Granularity sweep — imputation factor 10x/25x/50x");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42, 5'000));
+  const core::Scenario s = bench::default_scenario(42, 5'000);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
 
   Table table({"factor", "method", "a. max", "b. periodic", "d. burst det",
                "e. burst height", "h. empty freq"});
@@ -29,18 +28,20 @@ int main() {
                   : std::vector<std::size_t>{10, 25, 50};
   for (const std::size_t factor : factors) {
     // Window = 6 intervals, as in the paper's 300 ms / 50 ms layout.
-    const core::PreparedData data =
-        core::prepare_data(campaign, 6 * factor, factor);
+    core::Scenario sv = s;
+    sv.window_ms = 6 * factor;
+    sv.factor = factor;
+    const core::PreparedData data = engine.prepare(sv, campaign);
     core::Table1Evaluator evaluator(campaign, data);
 
-    impute::LinearInterpImputer naive;
-    const auto naive_row = evaluator.evaluate(naive);
+    const auto naive = engine.fit_method(sv, "linear", data);
+    const auto naive_row = evaluator.evaluate(*naive.imputer);
 
-    auto kal = std::make_shared<impute::TransformerImputer>(
-        bench::default_model(), bench::default_training(true));
-    kal->train(data.split.train);
-    impute::KnowledgeAugmentedImputer full(kal);
-    const auto full_row = evaluator.evaluate(full);
+    const auto kal = engine.fit_method(sv, "transformer+kal", data);
+    impute::MethodParams params;
+    params.cem = sv.cem;
+    const auto full = impute::Registry::with_cem(kal, params);
+    const auto full_row = evaluator.evaluate(*full.imputer);
 
     for (const auto* row : {&naive_row, &full_row}) {
       table.add_row({std::to_string(factor) + "x", row->method,

@@ -20,18 +20,15 @@ int main() {
   bench::print_header(
       "Streaming imputation latency vs the 50 ms real-time budget");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42, 5'000));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  const core::Scenario s = bench::default_scenario(42, 5'000);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
 
-  auto model = std::make_shared<impute::TransformerImputer>(
-      bench::default_model(),
-      bench::default_training(/*use_kal=*/true));
-  model->train(data.split.train);
-  auto full = std::make_shared<impute::KnowledgeAugmentedImputer>(model);
+  const auto full = engine.fit_method(s, "transformer+kal+cem", data);
 
   impute::StreamingImputer stream(
-      full, /*window_intervals=*/6, data.dataset_config.factor,
+      full.imputer, /*window_intervals=*/6, data.dataset_config.factor,
       data.dataset_config.qlen_scale, data.dataset_config.count_scale);
 
   // Stream the busiest queue's telemetry.

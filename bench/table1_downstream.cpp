@@ -12,11 +12,10 @@
 // fm_alone_scalability).
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "bench_common.h"
-#include "impute/iterative_imputer.h"
 #include "impute/knowledge_imputer.h"
+#include "impute/registry.h"
 #include "util/stopwatch.h"
 
 using namespace fmnet;
@@ -26,9 +25,16 @@ int main() {
   bench::print_header(
       "Table 1 — downstream task errors of the four imputation methods");
 
-  const core::Campaign campaign =
-      core::run_campaign(bench::default_campaign(42));
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
+  // Headline run: train longer than the multi-model ablations unless the
+  // user pinned FMNET_EPOCHS.
+  core::Scenario s = bench::default_scenario(42);
+  if (std::getenv("FMNET_EPOCHS") == nullptr && !fast_mode()) {
+    s.train.epochs = 45;
+  }
+
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
   std::printf("campaign: %d ports, %lld-pkt shared buffer, %zu ms, "
               "%zu train / %zu test windows\n",
               campaign.switch_config.num_ports,
@@ -41,47 +47,39 @@ int main() {
   core::Table1Evaluator evaluator(campaign, data);
   std::vector<core::Table1Row> rows;
 
-  // Headline run: train longer than the multi-model ablations unless the
-  // user pinned FMNET_EPOCHS.
-  const bool epochs_pinned = std::getenv("FMNET_EPOCHS") != nullptr;
-  auto training = [&](bool use_kal) {
-    auto cfg = bench::default_training(use_kal);
-    if (!epochs_pinned && !fast_mode()) cfg.epochs = 45;
-    return cfg;
+  auto fit_timed = [&](const char* method) {
+    Stopwatch sw;
+    auto built = engine.fit_method(s, method, data);
+    std::printf("[%s] fitted in %.1fs\n", built.imputer->name().c_str(),
+                sw.elapsed_seconds());
+    return built;
   };
 
   // 1. IterativeImputer.
   {
-    impute::IterativeImputer iter;
+    auto iter = fit_timed("iterative");
     Stopwatch sw;
-    rows.push_back(evaluator.evaluate(iter));
+    rows.push_back(evaluator.evaluate(*iter.imputer));
     std::printf("[IterImputer] evaluated in %.1fs\n", sw.elapsed_seconds());
   }
 
   // 2. Transformer (EMD loss, no knowledge).
-  auto plain = std::make_shared<impute::TransformerImputer>(
-      bench::default_model(), training(/*use_kal=*/false));
   {
-    Stopwatch sw;
-    plain->train(data.split.train);
-    std::printf("[Transformer] trained in %.1fs\n", sw.elapsed_seconds());
-    rows.push_back(evaluator.evaluate(*plain));
+    auto plain = fit_timed("transformer");
+    rows.push_back(evaluator.evaluate(*plain.imputer));
   }
 
-  // 3. Transformer + KAL.
-  auto kal = std::make_shared<impute::TransformerImputer>(
-      bench::default_model(), training(/*use_kal=*/true));
-  {
-    Stopwatch sw;
-    const auto stats = kal->train(data.split.train);
-    std::printf("[Transformer+KAL] trained in %.1fs (phi %.4f psi %.4f)\n",
-                sw.elapsed_seconds(), stats.final_mean_phi,
-                stats.final_mean_psi);
-    rows.push_back(evaluator.evaluate(*kal));
-  }
+  // 3. Transformer + KAL, and 4. + CEM wrapped around the same fit.
+  auto kal = fit_timed("transformer+kal");
+  rows.push_back(evaluator.evaluate(*kal.imputer));
 
-  // 4. Transformer + KAL + CEM.
-  impute::KnowledgeAugmentedImputer full(kal);
+  impute::MethodParams params;
+  params.model = s.model;
+  params.train = s.train;
+  params.cem = s.cem;
+  const auto full_built = impute::Registry::with_cem(kal, params);
+  auto& full =
+      dynamic_cast<impute::KnowledgeAugmentedImputer&>(*full_built.imputer);
   rows.push_back(evaluator.evaluate(full));
 
   std::printf("\n");

@@ -13,11 +13,8 @@
 // imputed view tracks the truth.
 #include <algorithm>
 #include <cstdio>
-#include <memory>
 
-#include "core/pipeline.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/transformer_imputer.h"
+#include "example_common.h"
 #include "obs/export.h"
 #include "util/stats.h"
 
@@ -34,24 +31,13 @@ double recommend_buffer(const std::vector<double>& qlen_series) {
 
 int main() {
   std::printf("=== Buffer provisioning from imputed telemetry ===\n");
-  core::CampaignConfig sim;
-  sim.num_ports = 4;
-  sim.buffer_size = 300;
-  sim.slots_per_ms = 30;
-  sim.total_ms = 3'000;
-  sim.seed = 21;
-  const core::Campaign campaign = core::run_campaign(sim);
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
-
-  impute::TrainConfig train;
-  train.epochs = 10;
-  train.use_kal = true;
-  nn::TransformerConfig model;
-  model.input_channels = telemetry::kNumInputChannels;
-  auto transformer =
-      std::make_shared<impute::TransformerImputer>(model, train);
-  transformer->train(data.split.train);
-  impute::KnowledgeAugmentedImputer imputer(transformer);
+  const core::Scenario s = examples::small_scenario(
+      "buffer-provisioning", /*seed=*/21, /*total_ms=*/3'000, /*epochs=*/10);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
+  auto built = engine.fit_method(s, "transformer+kal+cem", data);
+  impute::Imputer& imputer = *built.imputer;
 
   std::printf("\n%-8s %14s %14s %14s\n", "queue", "coarse-only",
               "FMNet imputed", "ground truth");

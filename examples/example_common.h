@@ -1,0 +1,30 @@
+// Shared scenario plumbing for the example programs: every example runs the
+// same small 4-port campaign (2–3 s instead of the paper's 10 s so they
+// finish in about a minute) and drives it through the Engine, so setting
+// FMNET_ARTIFACT_DIR makes repeated example runs skip simulation/training.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "core/scenario.h"
+
+namespace fmnet::examples {
+
+/// A small example-sized scenario. The method list stays the scenario
+/// default; examples that evaluate specific methods pass them to
+/// Engine::fit_method directly.
+inline core::Scenario small_scenario(const char* name, std::uint64_t seed,
+                                     std::int64_t total_ms, int epochs) {
+  core::Scenario s;
+  s.name = name;
+  s.campaign.seed = seed;
+  s.campaign.num_ports = 4;
+  s.campaign.buffer_size = 300;
+  s.campaign.slots_per_ms = 30;
+  s.campaign.total_ms = total_ms;
+  s.train.epochs = epochs;
+  return s;
+}
+
+}  // namespace fmnet::examples

@@ -7,12 +7,10 @@
 //           the measurements.
 //   Act 3 — CEM makes the ML output consistent at negligible cost.
 #include <cstdio>
-#include <memory>
 
-#include "core/pipeline.h"
+#include "example_common.h"
 #include "impute/cem.h"
 #include "impute/fm_model.h"
-#include "impute/transformer_imputer.h"
 #include "nn/kal.h"
 #include "obs/export.h"
 #include "util/rng.h"
@@ -53,24 +51,17 @@ int main() {
               "horizon (paper §2.3: Z3 ran 24h without finishing).\n\n");
 
   std::printf("=== Act 2: ML alone ===\n");
-  core::CampaignConfig sim;
-  sim.num_ports = 4;
-  sim.buffer_size = 300;
-  sim.slots_per_ms = 30;
-  sim.total_ms = 2'000;
-  sim.seed = 11;
-  const core::Campaign campaign = core::run_campaign(sim);
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
-
-  impute::TrainConfig train;
-  train.epochs = 8;
-  nn::TransformerConfig model_cfg;
-  model_cfg.input_channels = telemetry::kNumInputChannels;
-  auto ml = std::make_shared<impute::TransformerImputer>(model_cfg, train);
-  ml->train(data.split.train);
+  const core::Scenario s = examples::small_scenario(
+      "fm-vs-ml", /*seed=*/11, /*total_ms=*/2'000, /*epochs=*/8);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
+  // Plain transformer, EMD loss, no KAL and no CEM: ML with no formal
+  // methods anywhere.
+  auto ml = engine.fit_method(s, "transformer", data);
 
   const auto& ex = data.split.test.front();
-  auto raw = ml->impute(ex);
+  auto raw = ml.imputer->impute(ex);
   std::vector<double> norm(raw.size());
   for (std::size_t t = 0; t < raw.size(); ++t) {
     norm[t] = raw[t] / ex.qlen_scale;

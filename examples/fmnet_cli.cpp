@@ -1,93 +1,204 @@
 // fmnet_cli — command-line front end to the FMNet pipeline, the way an
 // operator would drive it without writing C++:
 //
-//   fmnet_cli simulate  --seed 42 --ports 8 --ms 4000 --out trace_dir
-//   fmnet_cli evaluate  --seed 42 --ports 8 --ms 4000 --epochs 15
-//   fmnet_cli impute    --seed 42 --ports 8 --ms 4000 --queue 3 --out q3.csv
+//   fmnet_cli run examples/scenarios/table1.scn
+//   fmnet_cli run smoke.scn --train.epochs 3 --artifact-dir cache/
+//   fmnet_cli simulate --seed 42 --ports 8 --ms 4000 --out trace_dir
+//   fmnet_cli evaluate --seed 42 --ms 4000 --methods transformer+kal+cem
+//   fmnet_cli impute   --seed 42 --ms 4000 --queue 3 --out q3.csv
 //
+// run:      execute a scenario file end-to-end and print its Table-1 rows.
 // simulate: run a campaign and dump ground truth + coarse telemetry CSVs.
-// evaluate: train the KAL transformer + CEM and print the Table-1 rows.
-// impute:   train, impute one queue end-to-end, write truth vs imputed CSV.
+// evaluate: run a flag-built scenario and print its Table-1 rows.
+// impute:   fit the first scenario method, impute one queue, write a
+//           truth-vs-imputed CSV.
+//
+// Every command accepts the scenario option keys as flags (--campaign.seed
+// 7, --train.epochs 3, ...) plus the short aliases below; `run` applies
+// them on top of the scenario file. All stages go through the Engine, so
+// --artifact-dir (or FMNET_ARTIFACT_DIR) makes re-runs skip simulation and
+// training via the content-addressed artifact cache.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <map>
-#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/engine.h"
 #include "core/evaluation.h"
-#include "core/pipeline.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/transformer_imputer.h"
+#include "core/scenario.h"
+#include "impute/registry.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "util/check.h"
 #include "util/csv.h"
+#include "util/string_util.h"
 
+#include <algorithm>
 #include <iostream>
 
 using namespace fmnet;
 
 namespace {
 
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-
-  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::atoll(it->second.c_str());
-  }
-  std::string get_str(const std::string& key,
-                      const std::string& fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
+/// Options that belong to the CLI itself rather than the scenario.
+struct CliOptions {
+  std::string metrics;
+  std::string artifact_dir;
+  bool artifact_dir_set = false;
+  std::string out;
+  std::int64_t queue = 0;
+  bool help = false;
 };
 
-Args parse_args(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
+/// Short aliases for the most common scenario keys, so `--seed 7` keeps
+/// working alongside the canonical `--campaign.seed 7`.
+const std::map<std::string, std::string>& flag_aliases() {
+  static const std::map<std::string, std::string> kAliases = {
+      {"seed", "campaign.seed"},
+      {"ports", "campaign.ports"},
+      {"buffer", "campaign.buffer"},
+      {"slots-per-ms", "campaign.slots-per-ms"},
+      {"ms", "campaign.ms"},
+      {"shard-ms", "campaign.shard-ms"},
+      {"scheduler", "campaign.scheduler"},
+      {"window-ms", "data.window-ms"},
+      {"factor", "data.factor"},
+      {"epochs", "train.epochs"},
+  };
+  return kAliases;
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: fmnet_cli run <scenario-file> [flags]\n"
+      "       fmnet_cli <simulate|evaluate|impute> [flags]\n"
+      "\n"
+      "Scenario flags: any scenario option key (--campaign.seed N,\n"
+      "--train.epochs N, --methods a,b,c, ...; see DESIGN.md) plus the\n"
+      "aliases --seed --ports --buffer --slots-per-ms --ms --shard-ms\n"
+      "--scheduler --window-ms --factor --epochs.\n"
+      "\n"
+      "CLI flags:\n"
+      "  --out PATH           output directory (simulate) or CSV (impute)\n"
+      "  --queue N            queue to impute (impute)\n"
+      "  --metrics FILE.json  export the observability snapshot (same as\n"
+      "                       FMNET_METRICS=FILE.json)\n"
+      "  --artifact-dir DIR   content-addressed artifact cache (same as\n"
+      "                       FMNET_ARTIFACT_DIR=DIR); warm re-runs skip\n"
+      "                       simulation and training\n"
+      "  --verbose            per-epoch training output\n"
+      "  --help               this text\n"
+      "\n"
+      "Known methods:");
+  for (const auto& m : impute::Registry::known_methods()) {
+    std::fprintf(to, " %s", m.c_str());
   }
-  return args;
+  std::fprintf(to, "\n");
 }
 
-core::CampaignConfig campaign_config(const Args& args) {
-  core::CampaignConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  cfg.num_ports = static_cast<std::int32_t>(args.get_int("ports", 4));
-  cfg.buffer_size = args.get_int("buffer", 300);
-  cfg.slots_per_ms =
-      static_cast<std::int32_t>(args.get_int("slots-per-ms", 30));
-  cfg.total_ms = args.get_int("ms", 3'000);
-  return cfg;
+bool is_scenario_key(const std::string& key) {
+  const auto& keys = core::scenario_option_keys();
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
 }
 
-std::shared_ptr<impute::TransformerImputer> train_model(
-    const core::PreparedData& data, const Args& args) {
-  nn::TransformerConfig model;
-  model.input_channels = telemetry::kNumInputChannels;
-  impute::TrainConfig train;
-  train.epochs = static_cast<int>(args.get_int("epochs", 12));
-  train.use_kal = args.get_int("kal", 1) != 0;
-  train.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  auto imputer =
-      std::make_shared<impute::TransformerImputer>(model, train);
-  std::printf("training %s for %d epochs on %zu windows...\n",
-              imputer->name().c_str(), train.epochs,
-              data.split.train.size());
-  const auto stats = imputer->train(data.split.train);
-  std::printf("loss %.4f -> %.4f\n", stats.epoch_loss.front(),
-              stats.epoch_loss.back());
-  return imputer;
+/// Parses `argv[start..)` into scenario overrides and CLI options.
+/// Returns 0 on success; on any unknown flag or bad value prints usage and
+/// returns the process exit code.
+int parse_flags(int argc, char** argv, int start, core::Scenario& scenario,
+                CliOptions& cli) {
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "fmnet_cli: unexpected argument '%s'\n",
+                   key.c_str());
+      usage(stderr);
+      return 2;
+    }
+    key = key.substr(2);
+
+    // Bare (valueless) flags.
+    if (key == "help") {
+      cli.help = true;
+      continue;
+    }
+    if (key == "verbose") {
+      scenario.train.verbose = true;
+      continue;
+    }
+
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "fmnet_cli: --%s requires a value\n", key.c_str());
+      usage(stderr);
+      return 2;
+    }
+    const std::string value = argv[++i];
+
+    const auto alias = flag_aliases().find(key);
+    if (alias != flag_aliases().end()) key = alias->second;
+    if (is_scenario_key(key)) {
+      try {
+        core::apply_scenario_option(scenario, key, value);
+      } catch (const CheckError& e) {
+        std::fprintf(stderr, "fmnet_cli: %s\n", e.what());
+        return 2;
+      }
+      continue;
+    }
+
+    if (key == "metrics") {
+      cli.metrics = value;
+    } else if (key == "artifact-dir") {
+      cli.artifact_dir = value;
+      cli.artifact_dir_set = true;
+    } else if (key == "out") {
+      cli.out = value;
+    } else if (key == "queue") {
+      cli.queue = std::atoll(value.c_str());
+    } else {
+      std::fprintf(stderr, "fmnet_cli: unknown option --%s\n", key.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  return 0;
 }
 
-int cmd_simulate(const Args& args) {
-  const auto campaign = core::run_campaign(campaign_config(args));
-  const auto data = core::prepare_data(campaign, 300, 50);
-  const std::string out = args.get_str("out", ".");
+core::Engine make_engine(const CliOptions& cli) {
+  return core::Engine(cli.artifact_dir_set
+                          ? core::ArtifactStore(cli.artifact_dir)
+                          : core::ArtifactStore::from_env());
+}
+
+/// Defaults for the flag-built commands: the small 4-port campaign the CLI
+/// has always used, evaluating the paper's headline method with and
+/// without CEM.
+core::Scenario cli_default_scenario() {
+  core::Scenario s;
+  s.name = "cli";
+  s.campaign.num_ports = 4;
+  s.campaign.buffer_size = 300;
+  s.campaign.slots_per_ms = 30;
+  s.campaign.total_ms = 3'000;
+  s.train.epochs = 12;
+  s.methods = {"transformer+kal", "transformer+kal+cem"};
+  return s;
+}
+
+int cmd_run(const core::Scenario& s, const CliOptions& cli) {
+  core::Engine engine = make_engine(cli);
+  const auto rows = engine.run(s);
+  core::print_table1(rows, std::cout);
+  return 0;
+}
+
+int cmd_simulate(const core::Scenario& s, const CliOptions& cli) {
+  core::Engine engine = make_engine(cli);
+  const auto campaign = engine.campaign(s.campaign);
+  const auto data = engine.prepare(s, campaign);
+  const std::string out = cli.out.empty() ? "." : cli.out;
   // Ground truth: one column per queue.
   std::vector<std::string> names;
   std::vector<std::vector<double>> cols;
@@ -110,31 +221,18 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-int cmd_evaluate(const Args& args) {
-  const auto campaign = core::run_campaign(campaign_config(args));
-  const auto data = core::prepare_data(campaign, 300, 50);
-  core::Table1Evaluator evaluator(campaign, data);
-  auto model = train_model(data, args);
-  impute::KnowledgeAugmentedImputer full(model);
-  std::vector<core::Table1Row> rows;
-  rows.push_back(evaluator.evaluate(*model));
-  rows.push_back(evaluator.evaluate(full));
-  core::print_table1(rows, std::cout);
-  return 0;
-}
+int cmd_impute(const core::Scenario& s, const CliOptions& cli) {
+  core::Engine engine = make_engine(cli);
+  const auto campaign = engine.campaign(s.campaign);
+  const auto data = engine.prepare(s, campaign);
+  auto built = engine.fit_method(s, s.methods.front(), data);
 
-int cmd_impute(const Args& args) {
-  const auto campaign = core::run_campaign(campaign_config(args));
-  const auto data = core::prepare_data(campaign, 300, 50);
-  auto model = train_model(data, args);
-  impute::KnowledgeAugmentedImputer full(model);
-
-  const auto queue = static_cast<std::int32_t>(args.get_int("queue", 0));
+  const auto queue = static_cast<std::int32_t>(cli.queue);
   std::vector<double> truth;
   std::vector<double> imputed;
   for (const auto& ex : data.split.test) {
     if (ex.queue != queue) continue;
-    const auto fine = full.impute(ex);
+    const auto fine = built.imputer->impute(ex);
     imputed.insert(imputed.end(), fine.begin(), fine.end());
     for (std::size_t t = 0; t < ex.window; ++t) {
       truth.push_back(campaign.gt.queue_len[queue][ex.start_ms + t]);
@@ -144,46 +242,70 @@ int cmd_impute(const Args& args) {
     std::fprintf(stderr, "no test windows for queue %d\n", queue);
     return 1;
   }
-  const std::string out = args.get_str("out", "imputed.csv");
+  const std::string out = cli.out.empty() ? "imputed.csv" : cli.out;
   write_csv(out, {"truth", "imputed"}, {truth, imputed});
-  std::printf("wrote %s (%zu fine-grained points for queue %d)\n",
-              out.c_str(), truth.size(), queue);
+  std::printf("wrote %s (%zu fine-grained points for queue %d, method %s)\n",
+              out.c_str(), truth.size(), queue,
+              built.imputer->name().c_str());
   return 0;
-}
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: fmnet_cli <simulate|evaluate|impute> [--seed N] [--ports N]\n"
-      "                 [--buffer N] [--slots-per-ms N] [--ms N]\n"
-      "                 [--epochs N] [--kal 0|1] [--queue N] [--out PATH]\n"
-      "                 [--metrics METRICS.json]\n"
-      "--metrics writes the run's observability snapshot (stage spans,\n"
-      "CEM/SMT counters, thread-pool lane stats) as JSON; equivalent to\n"
-      "setting FMNET_METRICS=METRICS.json.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
-  const std::string metrics_path = args.get_str("metrics", "");
-  if (!metrics_path.empty()) obs::set_sink_path(metrics_path);
-
-  int rc = 2;
-  if (args.command == "simulate") {
-    rc = cmd_simulate(args);
-  } else if (args.command == "evaluate") {
-    rc = cmd_evaluate(args);
-  } else if (args.command == "impute") {
-    rc = cmd_impute(args);
-  } else {
-    usage();
-    return args.command.empty() ? 1 : 2;
+  const std::string command = argc >= 2 ? argv[1] : "";
+  if (command.empty() || command == "--help" || command == "help") {
+    usage(command.empty() ? stderr : stdout);
+    return command.empty() ? 1 : 0;
   }
 
-  if (obs::finalize() && !metrics_path.empty()) {
-    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  core::Scenario scenario;
+  CliOptions cli;
+  int flag_start = 2;
+  if (command == "run") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr, "fmnet_cli: run requires a scenario file\n");
+      usage(stderr);
+      return 2;
+    }
+    try {
+      scenario = core::load_scenario_file(argv[2]);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "fmnet_cli: %s\n", e.what());
+      return 2;
+    }
+    flag_start = 3;
+  } else if (command == "simulate" || command == "evaluate" ||
+             command == "impute") {
+    scenario = cli_default_scenario();
+  } else {
+    std::fprintf(stderr, "fmnet_cli: unknown command '%s'\n",
+                 command.c_str());
+    usage(stderr);
+    return 2;
+  }
+
+  const int parse_rc = parse_flags(argc, argv, flag_start, scenario, cli);
+  if (parse_rc != 0) return parse_rc;
+  if (cli.help) {
+    usage(stdout);
+    return 0;
+  }
+  if (!cli.metrics.empty()) obs::set_sink_path(cli.metrics);
+
+  int rc;
+  if (command == "run" || command == "evaluate") {
+    rc = cmd_run(scenario, cli);
+  } else if (command == "simulate") {
+    rc = cmd_simulate(scenario, cli);
+  } else {
+    rc = cmd_impute(scenario, cli);
+  }
+
+  // Stderr, so stdout stays a pure function of the scenario (the CI cache
+  // smoke diffs cold vs warm stdout byte-for-byte).
+  if (obs::finalize() && !cli.metrics.empty()) {
+    std::fprintf(stderr, "wrote metrics to %s\n", cli.metrics.c_str());
   }
   return rc;
 }

@@ -6,11 +6,8 @@
 // against ground truth, and prints the hunted incidents.
 #include <algorithm>
 #include <cstdio>
-#include <memory>
 
-#include "core/pipeline.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/transformer_imputer.h"
+#include "example_common.h"
 #include "obs/export.h"
 #include "tasks/bursts.h"
 
@@ -51,24 +48,13 @@ std::size_t matched(const std::vector<tasks::Burst>& truth,
 
 int main() {
   std::printf("=== Microburst hunting with imputed telemetry ===\n");
-  core::CampaignConfig sim;
-  sim.num_ports = 4;
-  sim.buffer_size = 300;
-  sim.slots_per_ms = 30;
-  sim.total_ms = 3'000;
-  sim.seed = 33;
-  const core::Campaign campaign = core::run_campaign(sim);
-  const core::PreparedData data = core::prepare_data(campaign, 300, 50);
-
-  impute::TrainConfig train;
-  train.epochs = 15;
-  train.use_kal = true;
-  nn::TransformerConfig model;
-  model.input_channels = telemetry::kNumInputChannels;
-  auto transformer =
-      std::make_shared<impute::TransformerImputer>(model, train);
-  transformer->train(data.split.train);
-  impute::KnowledgeAugmentedImputer imputer(transformer);
+  const core::Scenario s = examples::small_scenario(
+      "microburst-hunting", /*seed=*/33, /*total_ms=*/3'000, /*epochs=*/15);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
+  const core::PreparedData data = engine.prepare(s, campaign);
+  auto built = engine.fit_method(s, "transformer+kal+cem", data);
+  impute::Imputer& imputer = *built.imputer;
 
   const double threshold =
       0.1 * static_cast<double>(campaign.switch_config.buffer_size);

@@ -7,13 +7,13 @@
 //   5. check the result against the measurements.
 //
 // Build & run:  ./examples/quickstart   (seeded; finishes in ~a minute)
+//
+// Every stage goes through the Engine, so with FMNET_ARTIFACT_DIR set a
+// second run loads the campaign and the trained weights from the artifact
+// cache instead of recomputing them.
 #include <cstdio>
-#include <memory>
 
-#include "core/evaluation.h"
-#include "core/pipeline.h"
-#include "impute/knowledge_imputer.h"
-#include "impute/transformer_imputer.h"
+#include "example_common.h"
 #include "nn/kal.h"
 #include "obs/export.h"
 
@@ -22,42 +22,30 @@ using namespace fmnet;
 int main() {
   // 1. Simulate: 4-port output-queued switch, shared buffer with dynamic
   //    thresholds, 2 s of websearch+incast traffic.
-  core::CampaignConfig sim;
-  sim.num_ports = 4;
-  sim.buffer_size = 300;
-  sim.slots_per_ms = 30;
-  sim.total_ms = 2'000;
-  sim.seed = 7;
-  const core::Campaign campaign = core::run_campaign(sim);
+  core::Scenario s = examples::small_scenario("quickstart", /*seed=*/7,
+                                              /*total_ms=*/2'000,
+                                              /*epochs=*/10);
+  core::Engine engine;
+  const core::Campaign campaign = engine.campaign(s.campaign);
   std::printf("simulated %zu ms over %zu queues\n", campaign.gt.num_ms(),
               campaign.gt.queue_len.size());
 
   // 2. Sample telemetry: 50 ms periodic samples, LANZ maxima, SNMP
   //    counters; window into 300 ms training examples.
-  const core::PreparedData data = core::prepare_data(campaign,
-                                                     /*window_ms=*/300,
-                                                     /*factor=*/50);
+  const core::PreparedData data = engine.prepare(s, campaign);
   std::printf("prepared %zu train / %zu test windows (50 ms -> 1 ms)\n",
               data.split.train.size(), data.split.test.size());
 
-  // 3. Train the transformer with the Knowledge-Augmented Loss.
-  nn::TransformerConfig model;
-  model.input_channels = telemetry::kNumInputChannels;
-  impute::TrainConfig train;
-  train.epochs = 10;
-  train.use_kal = true;
-  auto transformer =
-      std::make_shared<impute::TransformerImputer>(model, train);
-  const auto stats = transformer->train(data.split.train);
-  std::printf("trained: loss %.4f -> %.4f\n", stats.epoch_loss.front(),
-              stats.epoch_loss.back());
-
-  // 4. Wrap with the Constraint Enforcement Module.
-  impute::KnowledgeAugmentedImputer imputer(transformer);
+  // 3+4. Transformer with the Knowledge-Augmented Loss, wrapped in the
+  //      Constraint Enforcement Module — the paper's full system, by its
+  //      registry name.
+  auto built = engine.fit_method(s, "transformer+kal+cem", data);
+  std::printf("fitted %s on %zu windows\n", built.imputer->name().c_str(),
+              data.split.train.size());
 
   // 5. Impute one unseen window and verify consistency.
   const auto& example = data.split.test.front();
-  const std::vector<double> fine = imputer.impute(example);
+  const std::vector<double> fine = built.imputer->impute(example);
   std::vector<double> normalised(fine.size());
   for (std::size_t t = 0; t < fine.size(); ++t) {
     normalised[t] = fine[t] / example.qlen_scale;
@@ -70,7 +58,8 @@ int main() {
       v.sent_violation, v.satisfied(1e-5) ? "CONSISTENT" : "violated");
 
   // 6. With FMNET_METRICS=<path> set, export the run's observability
-  //    snapshot (stage spans, CEM/SMT counters, pool lane stats) as JSON.
+  //    snapshot (stage spans, artifact hit/miss counters, pool lane
+  //    stats) as JSON.
   obs::finalize();
   return 0;
 }

@@ -1,0 +1,144 @@
+#include "core/artifact_store.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace fmnet::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("engine.artifact.hit");
+  return c;
+}
+obs::Counter& miss_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("engine.artifact.miss");
+  return c;
+}
+obs::Counter& write_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("engine.artifact.write");
+  return c;
+}
+obs::Counter& corrupt_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("engine.artifact.corrupt");
+  return c;
+}
+
+/// Digest of a file's bytes, or nullopt when it cannot be read.
+std::optional<std::string> digest_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  util::StreamHasher hasher;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    hasher.update(buf, static_cast<std::size_t>(in.gcount()));
+    if (in.eof()) break;
+  }
+  return hasher.hex();
+}
+
+void remove_quietly(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // best effort; a racing reader may have won
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  FMNET_CHECK(!ec, "cannot create artifact dir " + dir_ + ": " + ec.message());
+}
+
+ArtifactStore ArtifactStore::from_env() {
+  const char* dir = std::getenv("FMNET_ARTIFACT_DIR");
+  return ArtifactStore(dir == nullptr ? std::string() : std::string(dir));
+}
+
+std::string ArtifactStore::payload_path(const std::string& kind,
+                                        const std::string& key) const {
+  return (fs::path(dir_) / (kind + "-" + key + ".bin")).string();
+}
+
+std::optional<std::string> ArtifactStore::find(const std::string& kind,
+                                               const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  const std::string path = payload_path(kind, key);
+  const std::string sidecar =
+      (fs::path(dir_) / (kind + "-" + key + ".sum")).string();
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    miss_counter().add(1);
+    return std::nullopt;
+  }
+  std::optional<std::string> want;
+  {
+    std::ifstream in(sidecar);
+    std::string line;
+    if (in.good() && std::getline(in, line) && !line.empty()) want = line;
+  }
+  const std::optional<std::string> got = digest_file(path);
+  if (!want.has_value() || !got.has_value() || *want != *got) {
+    // Truncated write, bit-rot, or a stale sidecar: degrade to a miss and
+    // clear the pair so the recomputed artifact lands cleanly.
+    corrupt_counter().add(1);
+    miss_counter().add(1);
+    remove_quietly(path);
+    remove_quietly(sidecar);
+    return std::nullopt;
+  }
+  hit_counter().add(1);
+  return path;
+}
+
+std::optional<std::string> ArtifactStore::put(
+    const std::string& kind, const std::string& key,
+    const std::function<void(std::ostream&)>& writer) const {
+  if (!enabled()) return std::nullopt;
+  const std::string path = payload_path(kind, key);
+  const std::string sidecar =
+      (fs::path(dir_) / (kind + "-" + key + ".sum")).string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FMNET_CHECK(out.good(), "cannot write artifact " + tmp);
+    writer(out);
+    out.flush();
+    FMNET_CHECK(out.good(), "failed writing artifact " + tmp);
+  }
+  const std::optional<std::string> digest = digest_file(tmp);
+  FMNET_CHECK(digest.has_value(), "cannot re-read artifact " + tmp);
+
+  // Payload first, sidecar second: a crash between the two renames leaves
+  // a payload without a digest, which find() treats as corrupt.
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  FMNET_CHECK(!ec, "cannot rename " + tmp + ": " + ec.message());
+  {
+    const std::string sum_tmp = sidecar + ".tmp";
+    std::ofstream out(sum_tmp, std::ios::trunc);
+    FMNET_CHECK(out.good(), "cannot write artifact digest " + sum_tmp);
+    out << *digest << "\n";
+    out.flush();
+    FMNET_CHECK(out.good(), "failed writing artifact digest " + sum_tmp);
+    out.close();
+    fs::rename(sum_tmp, sidecar, ec);
+    FMNET_CHECK(!ec, "cannot rename " + sum_tmp + ": " + ec.message());
+  }
+  write_counter().add(1);
+  return path;
+}
+
+}  // namespace fmnet::core

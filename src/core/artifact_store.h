@@ -1,0 +1,63 @@
+// Content-addressed on-disk artifact store for pipeline stage outputs.
+//
+// Each artifact is addressed by (kind, key): `kind` names the stage that
+// produced it ("campaign", "dataset", "checkpoint", ...) and `key` is a
+// stable hash of the stage's canonical config plus its upstream keys
+// (core/scenario.h). Warm-cache runs therefore skip straight past
+// simulation and training; any config change produces a different key and
+// falls back to a cold computation.
+//
+// Layout under the root directory (FMNET_ARTIFACT_DIR):
+//
+//   <kind>-<key>.bin   the artifact payload (stage-defined binary format)
+//   <kind>-<key>.sum   32-hex-digit digest of the payload bytes
+//
+// Integrity: find() re-hashes the payload and compares it with the
+// sidecar; a missing sidecar or mismatching digest counts the artifact as
+// corrupt and reports a miss, so a truncated write or bit-rot silently
+// degrades to recomputation — never to wrong results. Writes go to a
+// temporary file first and are renamed into place, so concurrent readers
+// only ever observe complete artifacts.
+//
+// Observability: every lookup/write bumps the engine.artifact.{hit,miss,
+// write,corrupt} counters, which the CI smoke job asserts on.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace fmnet::core {
+
+class ArtifactStore {
+ public:
+  /// A store rooted at `dir`; empty means disabled (every find misses and
+  /// every put is dropped), which keeps call sites branch-free.
+  explicit ArtifactStore(std::string dir = {});
+
+  /// Store rooted at $FMNET_ARTIFACT_DIR, disabled when unset or empty.
+  static ArtifactStore from_env();
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Path of a verified artifact, or nullopt (absent, or corrupt — the
+  /// corrupt pair is removed so the next put starts clean).
+  std::optional<std::string> find(const std::string& kind,
+                                  const std::string& key) const;
+
+  /// Writes an artifact through `writer` (tmp file + rename, digest
+  /// sidecar last) and returns its path; nullopt when the store is
+  /// disabled. Throws CheckError when the directory is unwritable.
+  std::optional<std::string> put(
+      const std::string& kind, const std::string& key,
+      const std::function<void(std::ostream&)>& writer) const;
+
+ private:
+  std::string payload_path(const std::string& kind,
+                           const std::string& key) const;
+
+  std::string dir_;
+};
+
+}  // namespace fmnet::core

@@ -1,0 +1,313 @@
+#include "core/engine.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "nn/serialize.h"
+#include "obs/span.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/serial.h"
+
+namespace fmnet::core {
+
+namespace {
+
+// Artifact payload formats. Bump on any layout change: a stale artifact
+// then fails to parse and the engine recomputes it (the store's checksum
+// only guards byte integrity, not schema).
+constexpr std::uint32_t kCampaignFormat = 1;
+constexpr std::uint32_t kDatasetFormat = 1;
+
+void write_series(util::BinWriter& w, const fmnet::TimeSeries& s) {
+  w.pod(s.step_ms());
+  w.vec(s.values());
+}
+
+fmnet::TimeSeries read_series(util::BinReader& r) {
+  const double step_ms = r.pod<double>();
+  return fmnet::TimeSeries(r.vec<double>(), step_ms);
+}
+
+void write_series_vec(util::BinWriter& w,
+                      const std::vector<fmnet::TimeSeries>& v) {
+  w.pod(static_cast<std::uint64_t>(v.size()));
+  for (const auto& s : v) write_series(w, s);
+}
+
+std::vector<fmnet::TimeSeries> read_series_vec(util::BinReader& r) {
+  const auto n = r.pod<std::uint64_t>();
+  FMNET_CHECK_LE(n, 1ULL << 20);
+  std::vector<fmnet::TimeSeries> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_series(r));
+  return v;
+}
+
+void write_campaign(std::ostream& out, const Campaign& c) {
+  util::BinWriter w(out);
+  w.pod(kCampaignFormat);
+  const auto& sw = c.switch_config;
+  w.pod(sw.num_ports);
+  w.pod(sw.queues_per_port);
+  w.pod(sw.buffer_size);
+  w.vec(sw.alpha);
+  w.pod(static_cast<std::int32_t>(sw.scheduler));
+  w.vec(sw.wrr_weights);
+  w.pod(sw.slots_per_ms);
+  w.pod(c.gt.slots_per_ms);
+  write_series_vec(w, c.gt.queue_len);
+  write_series_vec(w, c.gt.queue_len_max);
+  write_series_vec(w, c.gt.port_sent);
+  write_series_vec(w, c.gt.port_dropped);
+  write_series_vec(w, c.gt.port_received);
+}
+
+Campaign read_campaign(std::istream& in) {
+  util::BinReader r(in);
+  FMNET_CHECK_EQ(r.pod<std::uint32_t>(), kCampaignFormat);
+  Campaign c;
+  auto& sw = c.switch_config;
+  sw.num_ports = r.pod<std::int32_t>();
+  sw.queues_per_port = r.pod<std::int32_t>();
+  sw.buffer_size = r.pod<std::int64_t>();
+  sw.alpha = r.vec<double>();
+  sw.scheduler = static_cast<switchsim::SchedulerType>(r.pod<std::int32_t>());
+  sw.wrr_weights = r.vec<std::int32_t>();
+  sw.slots_per_ms = r.pod<std::int32_t>();
+  c.gt.slots_per_ms = r.pod<std::int32_t>();
+  c.gt.queue_len = read_series_vec(r);
+  c.gt.queue_len_max = read_series_vec(r);
+  c.gt.port_sent = read_series_vec(r);
+  c.gt.port_dropped = read_series_vec(r);
+  c.gt.port_received = read_series_vec(r);
+  return c;
+}
+
+void write_example(util::BinWriter& w,
+                   const telemetry::ImputationExample& ex) {
+  w.vec(ex.features);
+  w.vec(ex.target);
+  w.vec(ex.constraints.sample_idx);
+  w.vec(ex.constraints.sample_val);
+  w.vec(ex.constraints.window_max);
+  w.vec(ex.constraints.port_sent);
+  w.pod(ex.constraints.coarse_factor);
+  w.pod(ex.constraints.ne_tanh_scale);
+  w.pod(ex.queue);
+  w.pod(ex.port);
+  w.pod(static_cast<std::uint64_t>(ex.start_ms));
+  w.pod(static_cast<std::uint64_t>(ex.window));
+  w.pod(ex.qlen_scale);
+  w.pod(ex.count_scale);
+}
+
+telemetry::ImputationExample read_example(util::BinReader& r) {
+  telemetry::ImputationExample ex;
+  ex.features = r.vec<float>();
+  ex.target = r.vec<float>();
+  ex.constraints.sample_idx = r.vec<std::int64_t>();
+  ex.constraints.sample_val = r.vec<float>();
+  ex.constraints.window_max = r.vec<float>();
+  ex.constraints.port_sent = r.vec<float>();
+  ex.constraints.coarse_factor = r.pod<std::int64_t>();
+  ex.constraints.ne_tanh_scale = r.pod<float>();
+  ex.queue = r.pod<std::int32_t>();
+  ex.port = r.pod<std::int32_t>();
+  ex.start_ms = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  ex.window = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  ex.qlen_scale = r.pod<double>();
+  ex.count_scale = r.pod<double>();
+  return ex;
+}
+
+void write_examples(util::BinWriter& w,
+                    const std::vector<telemetry::ImputationExample>& v) {
+  w.pod(static_cast<std::uint64_t>(v.size()));
+  for (const auto& ex : v) write_example(w, ex);
+}
+
+std::vector<telemetry::ImputationExample> read_examples(util::BinReader& r) {
+  const auto n = r.pod<std::uint64_t>();
+  FMNET_CHECK_LE(n, 1ULL << 24);
+  std::vector<telemetry::ImputationExample> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_example(r));
+  return v;
+}
+
+void write_prepared(std::ostream& out, const PreparedData& d) {
+  util::BinWriter w(out);
+  w.pod(kDatasetFormat);
+  w.pod(static_cast<std::uint64_t>(d.dataset_config.window_ms));
+  w.pod(static_cast<std::uint64_t>(d.dataset_config.factor));
+  w.pod(d.dataset_config.qlen_scale);
+  w.pod(d.dataset_config.count_scale);
+  w.pod(static_cast<std::uint64_t>(d.coarse.factor));
+  write_series_vec(w, d.coarse.periodic_qlen);
+  write_series_vec(w, d.coarse.max_qlen);
+  write_series_vec(w, d.coarse.snmp_sent);
+  write_series_vec(w, d.coarse.snmp_dropped);
+  write_series_vec(w, d.coarse.snmp_received);
+  write_examples(w, d.split.train);
+  write_examples(w, d.split.test);
+}
+
+PreparedData read_prepared(std::istream& in) {
+  util::BinReader r(in);
+  FMNET_CHECK_EQ(r.pod<std::uint32_t>(), kDatasetFormat);
+  PreparedData d;
+  d.dataset_config.window_ms =
+      static_cast<std::size_t>(r.pod<std::uint64_t>());
+  d.dataset_config.factor = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  d.dataset_config.qlen_scale = r.pod<double>();
+  d.dataset_config.count_scale = r.pod<double>();
+  d.coarse.factor = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  d.coarse.periodic_qlen = read_series_vec(r);
+  d.coarse.max_qlen = read_series_vec(r);
+  d.coarse.snmp_sent = read_series_vec(r);
+  d.coarse.snmp_dropped = read_series_vec(r);
+  d.coarse.snmp_received = read_series_vec(r);
+  d.split.train = read_examples(r);
+  d.split.test = read_examples(r);
+  return d;
+}
+
+/// Parses a cached artifact with `reader`; a parse failure (schema drift,
+/// a hash collision between formats) degrades to a miss rather than
+/// aborting the run.
+template <class T, class Reader>
+std::optional<T> try_load(const std::string& path, Reader reader) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  try {
+    return reader(in);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Engine::Engine(ArtifactStore store, util::ThreadPool* pool)
+    : store_(std::move(store)), pool_(pool) {}
+
+std::string Engine::campaign_key(const CampaignConfig& config) {
+  return util::stable_key(canonical_campaign(config));
+}
+
+std::string Engine::dataset_key(const Scenario& s) {
+  return util::stable_key(canonical_dataset(s));
+}
+
+std::string Engine::checkpoint_key(const Scenario& s,
+                                   const std::string& method) {
+  // Keyed on the base method: "transformer+kal" and "transformer+kal+cem"
+  // train the same model, so they share one checkpoint.
+  return util::stable_key(
+      canonical_training(s, impute::Registry::base_method(method)));
+}
+
+Campaign Engine::campaign(const CampaignConfig& config) {
+  obs::ScopedSpan span("engine.simulate");
+  const std::string key = campaign_key(config);
+  if (const auto path = store_.find("campaign", key)) {
+    if (auto cached = try_load<Campaign>(
+            *path, [](std::istream& in) { return read_campaign(in); })) {
+      return std::move(*cached);
+    }
+  }
+  Campaign c = run_campaign(config, pool_);
+  store_.put("campaign", key,
+             [&](std::ostream& out) { write_campaign(out, c); });
+  return c;
+}
+
+PreparedData Engine::prepare(const Scenario& s, const Campaign& campaign) {
+  obs::ScopedSpan span("engine.prepare");
+  const std::string key = dataset_key(s);
+  if (const auto path = store_.find("dataset", key)) {
+    if (auto cached = try_load<PreparedData>(
+            *path, [](std::istream& in) { return read_prepared(in); })) {
+      return std::move(*cached);
+    }
+  }
+  PreparedData d = prepare_data(campaign, s.window_ms, s.factor);
+  store_.put("dataset", key,
+             [&](std::ostream& out) { write_prepared(out, d); });
+  return d;
+}
+
+impute::BuiltImputer Engine::fit_method(const Scenario& s,
+                                        const std::string& method,
+                                        const PreparedData& data) {
+  obs::ScopedSpan span("engine.train");
+  impute::MethodParams params;
+  params.model = s.model;
+  params.train = s.train;
+  params.cem = s.cem;
+  params.pool = pool_;
+  impute::BuiltImputer built = impute::Registry::build(method, params);
+
+  const bool checkpointable = built.trainable != nullptr && store_.enabled();
+  if (checkpointable) {
+    const std::string key = checkpoint_key(s, method);
+    if (const auto path = store_.find("checkpoint", key)) {
+      std::ifstream in(*path, std::ios::binary);
+      bool loaded = false;
+      if (in.good()) {
+        try {
+          nn::load_parameters(built.trainable->model(), in);
+          loaded = true;
+        } catch (const CheckError&) {
+          // Architecture drift under an unchanged key should be impossible
+          // (the key hashes the model config); fall through and retrain.
+        }
+      }
+      if (loaded) return built;
+    }
+    built.imputer->fit(data.split.train, pool_);
+    store_.put("checkpoint", key, [&](std::ostream& out) {
+      nn::save_parameters(built.trainable->model(), out);
+    });
+    return built;
+  }
+
+  built.imputer->fit(data.split.train, pool_);
+  return built;
+}
+
+std::vector<Table1Row> Engine::run(const Scenario& s) {
+  const Campaign c = campaign(s.campaign);
+  const PreparedData data = prepare(s, c);
+  const Table1Evaluator evaluator(c, data, s.burst_threshold_fraction);
+
+  impute::MethodParams params;
+  params.model = s.model;
+  params.train = s.train;
+  params.cem = s.cem;
+  params.pool = pool_;
+
+  // Fit each *base* method at most once: "x" and "x+cem" share the fitted
+  // base, with CEM wrapped around the same instance.
+  std::map<std::string, impute::BuiltImputer> fitted;
+  std::vector<Table1Row> rows;
+  rows.reserve(s.methods.size());
+  for (const auto& method : s.methods) {
+    const std::string base = impute::Registry::base_method(method);
+    auto it = fitted.find(base);
+    if (it == fitted.end()) {
+      it = fitted.emplace(base, fit_method(s, base, data)).first;
+    }
+    const impute::BuiltImputer built =
+        method == base ? it->second
+                       : impute::Registry::with_cem(it->second, params);
+    obs::ScopedSpan span("engine.evaluate");
+    rows.push_back(evaluator.evaluate(*built.imputer));
+  }
+  return rows;
+}
+
+}  // namespace fmnet::core

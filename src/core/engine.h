@@ -1,0 +1,73 @@
+// The staged execution engine: runs a Scenario through the pipeline DAG
+//
+//   simulate → prepare → train → (impute → correct → evaluate)
+//
+// with every expensive stage routed through the content-addressed artifact
+// store. Stage keys chain: the campaign key hashes the canonical campaign
+// config, the dataset key hashes campaign + windowing, and each method's
+// checkpoint key hashes dataset + model + training + method name — so any
+// upstream config change invalidates exactly the downstream artifacts.
+//
+// With FMNET_ARTIFACT_DIR set, a warm re-run of the same scenario loads
+// the campaign, the prepared dataset and the transformer checkpoints from
+// disk — skipping simulation and training entirely (observable as
+// engine.artifact.hit counters, zero sim.shards / train.epochs, and the
+// absence of the inner "simulate"/"train" spans) — and produces the exact
+// evaluation tables of the cold run, because artifacts round-trip
+// bit-exactly and imputation is deterministic.
+//
+// Stages wrap themselves in "engine.<stage>" spans, so stage timing is
+// visible in exported metrics on both cold and warm paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "core/scenario.h"
+#include "impute/registry.h"
+#include "util/thread_pool.h"
+
+namespace fmnet::core {
+
+class Engine {
+ public:
+  /// `store` defaults to the FMNET_ARTIFACT_DIR-rooted store (disabled
+  /// when unset); `pool` is forwarded to every stage (null = global pool)
+  /// and must outlive the engine.
+  explicit Engine(ArtifactStore store = ArtifactStore::from_env(),
+                  util::ThreadPool* pool = nullptr);
+
+  /// simulate: cached campaign, or run_campaign on a miss.
+  Campaign campaign(const CampaignConfig& config);
+
+  /// prepare: cached dataset, or prepare_data(campaign, ...) on a miss.
+  PreparedData prepare(const Scenario& s, const Campaign& campaign);
+
+  /// train: builds `method` from the registry and fits it on the training
+  /// split. Transformer-family methods checkpoint through the store, so a
+  /// warm run restores weights instead of training; other trainable
+  /// methods (mlp/gru/rate) refit every run.
+  impute::BuiltImputer fit_method(const Scenario& s,
+                                  const std::string& method,
+                                  const PreparedData& data);
+
+  /// The full staged DAG: one Table-1 row per scenario method, in order.
+  std::vector<Table1Row> run(const Scenario& s);
+
+  const ArtifactStore& store() const { return store_; }
+
+  /// Stage cache keys (32 hex digits), exposed for tests and tooling.
+  static std::string campaign_key(const CampaignConfig& config);
+  static std::string dataset_key(const Scenario& s);
+  static std::string checkpoint_key(const Scenario& s,
+                                    const std::string& method);
+
+ private:
+  ArtifactStore store_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace fmnet::core

@@ -1,0 +1,450 @@
+#include "core/scenario.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "impute/registry.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace fmnet::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  FMNET_CHECK(errno == 0 && end != value.c_str() && *end == '\0',
+              "option " + key + ": not an integer: '" + value + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_real(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  FMNET_CHECK(errno == 0 && end != value.c_str() && *end == '\0',
+              "option " + key + ": not a number: '" + value + "'");
+  return v;
+}
+
+std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt_real(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+std::string fmt_float(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return std::string(buf);
+}
+
+/// One scenario option: canonical key, setter (parses/validates the value)
+/// and getter (canonical formatting). The table below is the single source
+/// of truth for the file format, the CLI flags and the cache-key material.
+struct OptionDef {
+  const char* key;
+  std::function<void(Scenario&, const std::string&, const std::string&)> set;
+  std::function<std::string(const Scenario&)> get;
+};
+
+const std::vector<OptionDef>& option_defs() {
+  static const std::vector<OptionDef> kDefs = [] {
+    std::vector<OptionDef> defs;
+    defs.push_back({"name",
+                    [](Scenario& s, const std::string&,
+                       const std::string& v) { s.name = v; },
+                    [](const Scenario& s) { return s.name; }});
+
+    // --- campaign ---
+    defs.push_back({"campaign.seed",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      s.campaign.seed =
+                          static_cast<std::uint64_t>(parse_int(k, v));
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(
+                          static_cast<std::int64_t>(s.campaign.seed));
+                    }});
+    defs.push_back({"campaign.ports",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto p = parse_int(k, v);
+                      FMNET_CHECK_GT(p, 0);
+                      s.campaign.num_ports = static_cast<std::int32_t>(p);
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.campaign.num_ports);
+                    }});
+    defs.push_back({"campaign.queues-per-port",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      // run_campaign models the paper's two traffic classes.
+                      FMNET_CHECK_EQ(parse_int(k, v), 2);
+                      s.campaign.queues_per_port = 2;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.campaign.queues_per_port);
+                    }});
+    defs.push_back({"campaign.buffer",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto b = parse_int(k, v);
+                      FMNET_CHECK_GT(b, 0);
+                      s.campaign.buffer_size = b;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.campaign.buffer_size);
+                    }});
+    defs.push_back({"campaign.slots-per-ms",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto sl = parse_int(k, v);
+                      FMNET_CHECK_GT(sl, 0);
+                      s.campaign.slots_per_ms =
+                          static_cast<std::int32_t>(sl);
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.campaign.slots_per_ms);
+                    }});
+    defs.push_back({"campaign.ms",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto ms = parse_int(k, v);
+                      FMNET_CHECK_GT(ms, 0);
+                      s.campaign.total_ms = ms;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.campaign.total_ms);
+                    }});
+    defs.push_back({"campaign.shard-ms",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto ms = parse_int(k, v);
+                      FMNET_CHECK_GE(ms, 0);
+                      s.campaign.shard_ms = ms;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.campaign.shard_ms);
+                    }});
+    defs.push_back(
+        {"campaign.scheduler",
+         [](Scenario& s, const std::string& k, const std::string& v) {
+           if (v == "round-robin") {
+             s.campaign.scheduler = switchsim::SchedulerType::kRoundRobin;
+           } else if (v == "priority") {
+             s.campaign.scheduler =
+                 switchsim::SchedulerType::kStrictPriority;
+           } else if (v == "wrr") {
+             s.campaign.scheduler =
+                 switchsim::SchedulerType::kWeightedRoundRobin;
+           } else {
+             FMNET_CHECK(false, "option " + k +
+                                    ": expected round-robin|priority|wrr, "
+                                    "got '" +
+                                    v + "'");
+           }
+         },
+         [](const Scenario& s) -> std::string {
+           switch (s.campaign.scheduler) {
+             case switchsim::SchedulerType::kStrictPriority:
+               return "priority";
+             case switchsim::SchedulerType::kWeightedRoundRobin:
+               return "wrr";
+             case switchsim::SchedulerType::kRoundRobin:
+               break;
+           }
+           return "round-robin";
+         }});
+
+    // --- dataset windowing ---
+    defs.push_back({"data.window-ms",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto w = parse_int(k, v);
+                      FMNET_CHECK_GT(w, 0);
+                      s.window_ms = static_cast<std::size_t>(w);
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(
+                          static_cast<std::int64_t>(s.window_ms));
+                    }});
+    defs.push_back({"data.factor",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto f = parse_int(k, v);
+                      FMNET_CHECK_GT(f, 0);
+                      s.factor = static_cast<std::size_t>(f);
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(static_cast<std::int64_t>(s.factor));
+                    }});
+
+    // --- model ---
+    auto model_int = [](const char* key, std::int64_t nn::TransformerConfig::*m) {
+      return OptionDef{
+          key,
+          [m](Scenario& s, const std::string& k, const std::string& v) {
+            const auto parsed = parse_int(k, v);
+            FMNET_CHECK_GT(parsed, 0);
+            s.model.*m = parsed;
+          },
+          [m](const Scenario& s) { return fmt_int(s.model.*m); }};
+    };
+    defs.push_back(model_int("model.d-model",
+                             &nn::TransformerConfig::d_model));
+    defs.push_back(model_int("model.heads",
+                             &nn::TransformerConfig::num_heads));
+    defs.push_back(model_int("model.layers",
+                             &nn::TransformerConfig::num_layers));
+    defs.push_back(model_int("model.d-ff", &nn::TransformerConfig::d_ff));
+    defs.push_back(model_int("model.max-seq-len",
+                             &nn::TransformerConfig::max_seq_len));
+    defs.push_back({"model.dropout",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const double d = parse_real(k, v);
+                      FMNET_CHECK(d >= 0.0 && d < 1.0,
+                                  "option " + k + ": out of [0,1)");
+                      s.model.dropout = static_cast<float>(d);
+                    },
+                    [](const Scenario& s) {
+                      return fmt_float(s.model.dropout);
+                    }});
+
+    // --- training ---
+    auto train_int = [](const char* key, int impute::TrainConfig::*m) {
+      return OptionDef{
+          key,
+          [m](Scenario& s, const std::string& k, const std::string& v) {
+            const auto parsed = parse_int(k, v);
+            FMNET_CHECK_GT(parsed, 0);
+            s.train.*m = static_cast<int>(parsed);
+          },
+          [m](const Scenario& s) {
+            return fmt_int(static_cast<std::int64_t>(s.train.*m));
+          }};
+    };
+    auto train_float = [](const char* key, float impute::TrainConfig::*m) {
+      return OptionDef{
+          key,
+          [m](Scenario& s, const std::string& k, const std::string& v) {
+            const double parsed = parse_real(k, v);
+            FMNET_CHECK_GE(parsed, 0.0);
+            s.train.*m = static_cast<float>(parsed);
+          },
+          [m](const Scenario& s) { return fmt_float(s.train.*m); }};
+    };
+    defs.push_back(train_int("train.epochs", &impute::TrainConfig::epochs));
+    defs.push_back(
+        train_int("train.batch", &impute::TrainConfig::batch_size));
+    defs.push_back(
+        train_int("train.micro-batch", &impute::TrainConfig::micro_batch));
+    defs.push_back(train_float("train.lr", &impute::TrainConfig::lr));
+    defs.push_back(train_float("train.lr-final-fraction",
+                               &impute::TrainConfig::lr_final_fraction));
+    defs.push_back(
+        train_float("train.grad-clip", &impute::TrainConfig::grad_clip));
+    defs.push_back(
+        train_float("train.kal-mu", &impute::TrainConfig::kal_mu));
+    defs.push_back(
+        train_float("train.kal-weight", &impute::TrainConfig::kal_weight));
+    defs.push_back({"train.loss",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      if (v == "emd") {
+                        s.train.loss = impute::TrainConfig::Loss::kEmd;
+                      } else if (v == "mse") {
+                        s.train.loss = impute::TrainConfig::Loss::kMse;
+                      } else {
+                        FMNET_CHECK(false, "option " + k +
+                                               ": expected emd|mse, got '" +
+                                               v + "'");
+                      }
+                    },
+                    [](const Scenario& s) {
+                      return s.train.loss == impute::TrainConfig::Loss::kEmd
+                                 ? "emd"
+                                 : "mse";
+                    }});
+    defs.push_back({"train.seed",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      s.train.seed =
+                          static_cast<std::uint64_t>(parse_int(k, v));
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(
+                          static_cast<std::int64_t>(s.train.seed));
+                    }});
+
+    // --- CEM / evaluation / methods ---
+    defs.push_back({"cem.engine",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      if (v == "fast") {
+                        s.cem.engine = impute::CemEngine::kFastRepair;
+                      } else if (v == "smt") {
+                        s.cem.engine =
+                            impute::CemEngine::kSmtBranchAndBound;
+                      } else {
+                        FMNET_CHECK(false, "option " + k +
+                                               ": expected fast|smt, got '" +
+                                               v + "'");
+                      }
+                    },
+                    [](const Scenario& s) {
+                      return s.cem.engine == impute::CemEngine::kFastRepair
+                                 ? "fast"
+                                 : "smt";
+                    }});
+    defs.push_back({"eval.burst-threshold",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const double f = parse_real(k, v);
+                      FMNET_CHECK_GT(f, 0.0);
+                      s.burst_threshold_fraction = f;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_real(s.burst_threshold_fraction);
+                    }});
+    defs.push_back(
+        {"methods",
+         [](Scenario& s, const std::string& k, const std::string& v) {
+           std::vector<std::string> methods;
+           for (const auto& part : fmnet::split(v, ',')) {
+             const std::string m = trim(part);
+             if (m.empty()) continue;
+             FMNET_CHECK(impute::Registry::is_known(m),
+                         "option " + k + ": unknown method '" + m + "'");
+             methods.push_back(m);
+           }
+           FMNET_CHECK(!methods.empty(), "option " + k + ": empty list");
+           s.methods = std::move(methods);
+         },
+         [](const Scenario& s) { return fmnet::join(s.methods, ","); }});
+    return defs;
+  }();
+  return kDefs;
+}
+
+std::string emit(const Scenario& s, const char* first_key,
+                 const char* last_key) {
+  std::ostringstream os;
+  bool in_range = false;
+  for (const auto& def : option_defs()) {
+    if (std::string_view(def.key) == first_key) in_range = true;
+    if (in_range) os << def.key << " = " << def.get(s) << "\n";
+    if (std::string_view(def.key) == last_key) break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Scenario::Scenario() {
+  model.input_channels = telemetry::kNumInputChannels;
+}
+
+void apply_scenario_option(Scenario& s, const std::string& key,
+                           const std::string& value) {
+  for (const auto& def : option_defs()) {
+    if (key == def.key) {
+      def.set(s, key, trim(value));
+      return;
+    }
+  }
+  FMNET_CHECK(false, "unknown scenario option: " + key);
+}
+
+const std::vector<std::string>& scenario_option_keys() {
+  static const std::vector<std::string> kKeys = [] {
+    std::vector<std::string> keys;
+    for (const auto& def : option_defs()) keys.push_back(def.key);
+    return keys;
+  }();
+  return kKeys;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  FMNET_CHECK(in.good(), "cannot open scenario file " + path);
+  Scenario s;
+  std::string section;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      FMNET_CHECK(line.back() == ']',
+                  path + ":" + std::to_string(lineno) +
+                      ": malformed section header " + line);
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    FMNET_CHECK(eq != std::string::npos,
+                path + ":" + std::to_string(lineno) +
+                    ": expected key = value, got '" + line + "'");
+    std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    FMNET_CHECK(!key.empty(), path + ":" + std::to_string(lineno) +
+                                  ": empty option key");
+    // Unqualified keys inside a [section] get the section prefix; `name`
+    // and `methods` are top-level keys in any section.
+    if (!section.empty() && key.find('.') == std::string::npos &&
+        key != "name" && key != "methods") {
+      key = section + "." + key;
+    }
+    apply_scenario_option(s, key, value);
+  }
+  return s;
+}
+
+std::string canonical_scenario(const Scenario& s) {
+  return emit(s, "name", "methods");
+}
+
+std::string canonical_campaign(const CampaignConfig& c) {
+  // shard_ms is part of the content identity: shards are seeded with
+  // derive_stream_seed(seed, shard_index), so a sharded campaign differs
+  // from the contiguous one with the same seed.
+  Scenario tmp;
+  tmp.campaign = c;
+  return emit(tmp, "campaign.seed", "campaign.scheduler");
+}
+
+std::string canonical_dataset(const Scenario& s) {
+  return canonical_campaign(s.campaign) +
+         emit(s, "data.window-ms", "data.factor");
+}
+
+std::string canonical_training(const Scenario& s,
+                               const std::string& method) {
+  return canonical_dataset(s) + emit(s, "model.d-model", "train.seed") +
+         "method = " + method + "\n";
+}
+
+}  // namespace fmnet::core

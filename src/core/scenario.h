@@ -1,0 +1,89 @@
+// Declarative scenario descriptions: the paper's evaluation grid as data.
+//
+// A Scenario bundles everything one end-to-end run needs — campaign
+// (simulation), dataset windowing, model/training hyperparameters, CEM
+// engine, and the list of imputation methods to evaluate — so binaries
+// select behaviour by loading a small key-value config file (or applying
+// CLI flags) instead of hard-coding CampaignConfig/TrainConfig plumbing.
+//
+// The same canonical serialisation that makes scenarios printable also
+// makes them hashable: core/engine.h keys its content-addressed artifact
+// cache on canonical_*() strings, so two binaries that describe the same
+// scenario share the simulated campaign, the prepared dataset, and the
+// trained checkpoints on disk.
+//
+// File format (INI-style, parsed by load_scenario_file):
+//
+//   # comment
+//   name = paper-table1
+//   [campaign]
+//   seed = 42
+//   ms = 10000
+//   [train]
+//   epochs = 30
+//   methods = iterative, transformer, transformer+kal, transformer+kal+cem
+//
+// A `[section]` header prefixes the keys that follow ("seed" becomes
+// "campaign.seed"); fully-qualified `section.key = value` lines work with
+// or without a header. Unknown keys are hard errors — a typo must never
+// silently fall back to a default.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "impute/cem.h"
+#include "impute/transformer_imputer.h"
+#include "nn/transformer.h"
+
+namespace fmnet::core {
+
+/// One declarative end-to-end scenario (campaign + dataset + model + train
+/// + CEM + methods). Defaults mirror the paper's setup.
+struct Scenario {
+  std::string name = "scenario";
+  CampaignConfig campaign;
+  /// Dataset windowing: fine steps per example window / per coarse interval.
+  std::size_t window_ms = 300;
+  std::size_t factor = 50;
+  nn::TransformerConfig model;
+  impute::TrainConfig train;
+  impute::CemConfig cem;
+  /// Burst threshold as a fraction of the shared buffer (Table-1 tasks).
+  double burst_threshold_fraction = 0.08;
+  /// Imputation methods to evaluate, by registry name (impute/registry.h).
+  std::vector<std::string> methods = {"transformer+kal+cem"};
+
+  Scenario();
+};
+
+/// Applies one `key = value` option (e.g. "campaign.seed", "42"). Throws
+/// CheckError on unknown keys or unparsable values.
+void apply_scenario_option(Scenario& s, const std::string& key,
+                           const std::string& value);
+
+/// Parses an INI-style scenario file (format in the file comment). Throws
+/// CheckError on I/O failure or malformed/unknown entries.
+Scenario load_scenario_file(const std::string& path);
+
+/// Every option key apply_scenario_option accepts, in canonical order.
+const std::vector<std::string>& scenario_option_keys();
+
+/// Canonical `key = value` serialisation of the whole scenario: every field
+/// in fixed order, numeric formatting stable across runs. Parsing it back
+/// reproduces the scenario exactly.
+std::string canonical_scenario(const Scenario& s);
+
+/// Canonical serialisations of the per-stage config slices, used by the
+/// engine as cache-key material. Each stage string covers exactly the
+/// fields that influence that stage's output:
+///   campaign  — the full CampaignConfig (shard_ms included: shards are
+///               seeded per-index, so sharding changes the ground truth);
+///   dataset   — campaign + windowing;
+///   training  — dataset + model + train + method name.
+std::string canonical_campaign(const CampaignConfig& c);
+std::string canonical_dataset(const Scenario& s);
+std::string canonical_training(const Scenario& s, const std::string& method);
+
+}  // namespace fmnet::core

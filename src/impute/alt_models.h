@@ -27,6 +27,11 @@ class BiGruImputer : public Imputer {
 
   std::string name() const override { return "BiGRU"; }
   void train(const std::vector<ImputationExample>& examples);
+  void fit(const std::vector<ImputationExample>& examples,
+           util::ThreadPool* pool = nullptr) override {
+    (void)pool;
+    train(examples);
+  }
   std::vector<double> impute(const ImputationExample& ex) override;
 
  private:
@@ -43,6 +48,11 @@ class PointwiseMlpImputer : public Imputer {
 
   std::string name() const override { return "PointwiseMLP"; }
   void train(const std::vector<ImputationExample>& examples);
+  void fit(const std::vector<ImputationExample>& examples,
+           util::ThreadPool* pool = nullptr) override {
+    (void)pool;
+    train(examples);
+  }
   std::vector<double> impute(const ImputationExample& ex) override;
 
  private:

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "telemetry/dataset.h"
+#include "util/thread_pool.h"
 
 namespace fmnet::impute {
 
@@ -24,6 +25,17 @@ class Imputer {
 
   /// Human-readable method name as it appears in result tables.
   virtual std::string name() const = 0;
+
+  /// Fits the method to training examples. The default is a no-op: purely
+  /// analytical methods (linear interpolation, iterative ridge refits, the
+  /// FM-alone solver) have nothing to learn. Learned methods override this
+  /// so callers — the scenario engine in particular — can train any
+  /// registry-constructed imputer uniformly. `pool` null = global pool.
+  virtual void fit(const std::vector<ImputationExample>& examples,
+                   util::ThreadPool* pool = nullptr) {
+    (void)examples;
+    (void)pool;
+  }
 
   /// Imputes the fine-grained queue length (in packets, length
   /// ex.window) from the example's coarse features/constraints.

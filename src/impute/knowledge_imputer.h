@@ -24,6 +24,11 @@ class KnowledgeAugmentedImputer : public Imputer {
                             util::ThreadPool* pool = nullptr);
 
   std::string name() const override { return base_->name() + "+CEM"; }
+  /// Fitting trains the wrapped base model; CEM itself has no parameters.
+  void fit(const std::vector<ImputationExample>& examples,
+           util::ThreadPool* pool = nullptr) override {
+    base_->fit(examples, pool);
+  }
   std::vector<double> impute(const ImputationExample& ex) override;
 
   /// Wall-clock seconds spent inside CEM across all impute() calls, and

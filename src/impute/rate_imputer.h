@@ -37,6 +37,11 @@ class PhysicsRateImputer : public Imputer {
 
   std::string name() const override { return "RateTransformer"; }
   void train(const std::vector<ImputationExample>& examples);
+  void fit(const std::vector<ImputationExample>& examples,
+           util::ThreadPool* pool = nullptr) override {
+    (void)pool;  // single-replica training; examples batch on one lane
+    train(examples);
+  }
   std::vector<double> impute(const ImputationExample& ex) override;
 
  private:

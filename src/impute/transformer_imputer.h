@@ -61,6 +61,12 @@ class TransformerImputer : public Imputer {
   TrainStats train(const std::vector<ImputationExample>& examples,
                    util::ThreadPool* pool = nullptr);
 
+  /// Imputer::fit — train() without the stats, for registry-driven callers.
+  void fit(const std::vector<ImputationExample>& examples,
+           util::ThreadPool* pool = nullptr) override {
+    train(examples, pool);
+  }
+
   std::string name() const override {
     return train_config_.use_kal ? "Transformer+KAL" : "Transformer";
   }

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "util/check.h"
 
@@ -11,22 +13,20 @@ namespace {
 constexpr std::uint32_t kMagic = 0x464d4e31;  // "FMN1"
 
 template <class T>
-void write_pod(std::ofstream& out, const T& v) {
+void write_pod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <class T>
-T read_pod(std::ifstream& in) {
+T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  FMNET_CHECK(in.good(), "unexpected end of checkpoint file");
+  FMNET_CHECK(in.good(), "unexpected end of checkpoint stream");
   return v;
 }
 }  // namespace
 
-void save_parameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  FMNET_CHECK(out.good(), "cannot open " + path + " for writing");
+void save_parameters(const Module& module, std::ostream& out) {
   const auto params = module.parameters();
   write_pod(out, kMagic);
   write_pod(out, static_cast<std::uint64_t>(params.size()));
@@ -36,12 +36,10 @@ void save_parameters(const Module& module, const std::string& path) {
     out.write(reinterpret_cast<const char*>(p.data().data()),
               static_cast<std::streamsize>(p.data().size() * sizeof(float)));
   }
-  FMNET_CHECK(out.good(), "write to " + path + " failed");
+  FMNET_CHECK(out.good(), "checkpoint write failed");
 }
 
-void load_parameters(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  FMNET_CHECK(in.good(), "cannot open " + path + " for reading");
+void load_parameters(Module& module, std::istream& in) {
   FMNET_CHECK_EQ(read_pod<std::uint32_t>(in), kMagic);
   auto params = module.parameters();
   const auto count = read_pod<std::uint64_t>(in);
@@ -54,8 +52,21 @@ void load_parameters(Module& module, const std::string& path) {
     }
     in.read(reinterpret_cast<char*>(p.data().data()),
             static_cast<std::streamsize>(p.data().size() * sizeof(float)));
-    FMNET_CHECK(in.good(), "unexpected end of checkpoint file");
+    FMNET_CHECK(in.good(), "unexpected end of checkpoint stream");
   }
+}
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FMNET_CHECK(out.good(), "cannot open " + path + " for writing");
+  save_parameters(module, static_cast<std::ostream&>(out));
+  FMNET_CHECK(out.good(), "write to " + path + " failed");
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FMNET_CHECK(in.good(), "cannot open " + path + " for reading");
+  load_parameters(module, static_cast<std::istream&>(in));
 }
 
 }  // namespace fmnet::nn

@@ -2,6 +2,7 @@
 // checkpointed and reloaded by examples and benches.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/module.h"
@@ -15,5 +16,10 @@ void save_parameters(const Module& module, const std::string& path);
 /// Loads parameters saved by save_parameters into `module`. The module must
 /// have identical architecture: tensor count and shapes are verified.
 void load_parameters(Module& module, const std::string& path);
+
+/// Stream variants of the same format, used by the engine's artifact store
+/// to checkpoint trained models under content-addressed keys.
+void save_parameters(const Module& module, std::ostream& out);
+void load_parameters(Module& module, std::istream& in);
 
 }  // namespace fmnet::nn

@@ -1,0 +1,38 @@
+// Stable content hashing for cache keys.
+//
+// The artifact store (core/artifact_store.h) addresses each pipeline
+// artifact by a hash of its canonical configuration string plus the keys of
+// its upstream artifacts. That only works if the hash is a pure function of
+// the bytes — identical across runs, builds, platforms and library
+// versions — so FMNet uses its own FNV-1a implementation rather than
+// std::hash (whose value is unspecified and may be seeded per-process).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fmnet::util {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across runs/platforms.
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// 128 bits of key material as 32 lowercase hex digits: two independent
+/// FNV-1a streams (different offset bases) over the same bytes. Collisions
+/// between distinct configs are negligible at this width.
+std::string stable_key(std::string_view bytes);
+
+/// Incremental variant for hashing a file in chunks.
+class StreamHasher {
+ public:
+  void update(const char* data, std::size_t n);
+  /// 32-hex-digit digest of everything updated so far.
+  std::string hex() const;
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;
+  std::uint64_t b_ = 0x84222325cbf29ce4ULL;
+};
+
+}  // namespace fmnet::util

@@ -6,9 +6,13 @@
 // from derived per-index streams.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
+#include "core/engine.h"
+#include "core/evaluation.h"
 #include "core/pipeline.h"
+#include "core/scenario.h"
 #include "impute/cem.h"
 #include "impute/transformer_imputer.h"
 #include "obs/metrics.h"
@@ -251,6 +255,46 @@ TEST(Determinism, TrainingIdenticalAcrossThreadCounts) {
   // Inference through the trained weights (pooled tensor path) must agree
   // bit-for-bit too, not just the stored parameters.
   EXPECT_EQ(imp_one.impute(examples[0]), imp_eight.impute(examples[0]));
+}
+
+TEST(Determinism, EngineRunIdenticalAcrossThreadCounts) {
+  // The whole engine DAG — simulate, prepare, train, impute, correct,
+  // evaluate — must produce the same Table-1 rows on 1 lane and on 8.
+  core::Scenario s;
+  s.campaign = small_campaign_config();
+  s.window_ms = 100;
+  s.factor = 50;
+  s.model.d_model = 8;
+  s.model.num_heads = 2;
+  s.model.num_layers = 1;
+  s.model.d_ff = 16;
+  s.model.max_seq_len = 128;
+  s.train.epochs = 1;
+  s.train.batch_size = 4;
+  s.train.seed = 7;
+  s.methods = {"linear", "transformer+kal", "transformer+kal+cem"};
+
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  core::Engine engine_one{core::ArtifactStore(), &one};
+  core::Engine engine_eight{core::ArtifactStore(), &eight};
+  const auto rows_one = engine_one.run(s);
+  const auto rows_eight = engine_eight.run(s);
+
+  auto table = [](const std::vector<core::Table1Row>& rows) {
+    std::ostringstream os;
+    core::print_table1(rows, os);
+    return os.str();
+  };
+  EXPECT_EQ(table(rows_one), table(rows_eight));
+  ASSERT_EQ(rows_one.size(), rows_eight.size());
+  for (std::size_t i = 0; i < rows_one.size(); ++i) {
+    EXPECT_EQ(rows_one[i].max_constraint, rows_eight[i].max_constraint);
+    EXPECT_EQ(rows_one[i].sent_constraint, rows_eight[i].sent_constraint);
+    EXPECT_EQ(rows_one[i].burst_detection, rows_eight[i].burst_detection);
+    EXPECT_EQ(rows_one[i].concurrent_bursts,
+              rows_eight[i].concurrent_bursts);
+  }
 }
 
 }  // namespace
