@@ -1,0 +1,66 @@
+// Robustness sweep bench: degradation curves of the imputation methods as
+// telemetry faults get worse (core/robustness.h).
+//
+// The fault profile mirrors examples/scenarios/robustness.scn — lost LANZ
+// and periodic reports, Gaussian reading noise, 32-bit SNMP counter wrap —
+// scaled across a severity grid. Severity 0 is the clean pipeline, so the
+// first row doubles as the baseline Table-1 EMD. Output: a curve table on
+// stdout, ascii sparklines per method, and the canonical JSON report
+// (FMNET_ROBUSTNESS_OUT, default BENCH_robustness.json).
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/robustness.h"
+
+using namespace fmnet;
+
+int main() {
+  bench::ScopedMetricsDump metrics_dump;
+  bench::print_header("Robustness: imputation error vs telemetry fault "
+                      "severity");
+
+  core::Scenario s = bench::default_scenario(/*seed=*/42, /*full_ms=*/4'000);
+  s.name = "bench-robustness";
+  s.methods = fast_mode()
+                  ? std::vector<std::string>{"linear", "rate"}
+                  : std::vector<std::string>{"linear", "rate",
+                                             "transformer+kal"};
+  s.faults.seed = 7;
+  s.faults.periodic_drop = 0.3;
+  s.faults.lanz_drop = 0.3;
+  s.faults.noise = 4.0;
+  s.faults.snmp_wrap_bits = 32;
+
+  const std::vector<double> severities = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  core::Engine engine;
+  const auto curves = core::run_robustness_sweep(engine, s, severities);
+
+  std::printf("%-24s %10s %14s %14s\n", "method", "severity", "emd(pkts)",
+              "mae(pkts)");
+  for (const auto& p : curves.points) {
+    std::printf("%-24s %10.2f %14.6f %14.6f\n", p.method.c_str(),
+                p.severity, p.emd, p.mae);
+  }
+
+  std::printf("\nEMD degradation (per method, left = clean):\n");
+  for (const auto& method : curves.methods) {
+    std::vector<double> emds;
+    double peak = 0.0;
+    for (const auto& p : curves.points) {
+      if (p.method != method) continue;
+      emds.push_back(p.emd);
+      peak = std::max(peak, p.emd);
+    }
+    bench::ascii_plot(method.c_str(), emds, peak);
+  }
+
+  const char* out_env = std::getenv("FMNET_ROBUSTNESS_OUT");
+  const std::string out = (out_env != nullptr && out_env[0] != '\0')
+                              ? out_env
+                              : "BENCH_robustness.json";
+  core::write_robustness_json(curves, out);
+  std::fprintf(stderr, "wrote robustness report to %s\n", out.c_str());
+  return 0;
+}

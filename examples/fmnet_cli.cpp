@@ -6,12 +6,17 @@
 //   fmnet_cli simulate --seed 42 --ports 8 --ms 4000 --out trace_dir
 //   fmnet_cli evaluate --seed 42 --ms 4000 --methods transformer+kal+cem
 //   fmnet_cli impute   --seed 42 --ms 4000 --queue 3 --out q3.csv
+//   fmnet_cli sweep examples/scenarios/robustness.scn --severities 0,0.5,1
 //
 // run:      execute a scenario file end-to-end and print its Table-1 rows.
 // simulate: run a campaign and dump ground truth + coarse telemetry CSVs.
 // evaluate: run a flag-built scenario and print its Table-1 rows.
 // impute:   fit the first scenario method, impute one queue, write a
 //           truth-vs-imputed CSV.
+// sweep:    robustness sweep — rescale the scenario's faults.* config
+//           across a severity grid, score every method per severity
+//           (core/robustness.h), print the curve table and write the
+//           JSON report (default BENCH_robustness.json).
 //
 // Every command accepts the scenario option keys as flags (--campaign.seed
 // 7, --train.epochs 3, ...) plus the short aliases below; `run` applies
@@ -19,6 +24,7 @@
 // --artifact-dir (or FMNET_ARTIFACT_DIR) makes re-runs skip simulation and
 // training via the content-addressed artifact cache.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <map>
@@ -27,6 +33,7 @@
 
 #include "core/engine.h"
 #include "core/evaluation.h"
+#include "core/robustness.h"
 #include "core/scenario.h"
 #include "impute/registry.h"
 #include "obs/export.h"
@@ -49,6 +56,7 @@ struct CliOptions {
   bool artifact_dir_set = false;
   std::string out;
   std::int64_t queue = 0;
+  std::vector<double> severities = {0.0, 0.5, 1.0};
   bool help = false;
 };
 
@@ -74,6 +82,7 @@ void usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: fmnet_cli run <scenario-file> [flags]\n"
+      "       fmnet_cli sweep <scenario-file> [flags]\n"
       "       fmnet_cli <simulate|evaluate|impute> [flags]\n"
       "\n"
       "Scenario flags: any scenario option key (--campaign.seed N,\n"
@@ -82,8 +91,12 @@ void usage(std::FILE* to) {
       "--scheduler --window-ms --factor --epochs.\n"
       "\n"
       "CLI flags:\n"
-      "  --out PATH           output directory (simulate) or CSV (impute)\n"
+      "  --out PATH           output directory (simulate), CSV (impute)\n"
+      "                       or JSON report (sweep; default\n"
+      "                       BENCH_robustness.json)\n"
       "  --queue N            queue to impute (impute)\n"
+      "  --severities LIST    comma list of fault severities to sweep\n"
+      "                       (sweep; default 0,0.5,1)\n"
       "  --metrics FILE.json  export the observability snapshot (same as\n"
       "                       FMNET_METRICS=FILE.json)\n"
       "  --artifact-dir DIR   content-addressed artifact cache (same as\n"
@@ -157,6 +170,24 @@ int parse_flags(int argc, char** argv, int start, core::Scenario& scenario,
       cli.out = value;
     } else if (key == "queue") {
       cli.queue = std::atoll(value.c_str());
+    } else if (key == "severities") {
+      std::vector<double> severities;
+      for (const auto& part : fmnet::split(value, ',')) {
+        char* end = nullptr;
+        const double v = std::strtod(part.c_str(), &end);
+        if (end == part.c_str() || *end != '\0' || v < 0.0) {
+          std::fprintf(stderr,
+                       "fmnet_cli: --severities: bad value '%s'\n",
+                       part.c_str());
+          return 2;
+        }
+        severities.push_back(v);
+      }
+      if (severities.empty()) {
+        std::fprintf(stderr, "fmnet_cli: --severities: empty list\n");
+        return 2;
+      }
+      cli.severities = std::move(severities);
     } else {
       std::fprintf(stderr, "fmnet_cli: unknown option --%s\n", key.c_str());
       usage(stderr);
@@ -191,6 +222,25 @@ int cmd_run(const core::Scenario& s, const CliOptions& cli) {
   core::Engine engine = make_engine(cli);
   const auto rows = engine.run(s);
   core::print_table1(rows, std::cout);
+  return 0;
+}
+
+int cmd_sweep(const core::Scenario& s, const CliOptions& cli) {
+  core::Engine engine = make_engine(cli);
+  const auto curves =
+      core::run_robustness_sweep(engine, s, cli.severities);
+  // Deterministic curve table on stdout (same property as the Table-1
+  // printer: a pure function of scenario + severity grid).
+  std::printf("%-24s %10s %14s %14s\n", "method", "severity", "emd(pkts)",
+              "mae(pkts)");
+  for (const auto& p : curves.points) {
+    std::printf("%-24s %10.3f %14.6f %14.6f\n", p.method.c_str(),
+                p.severity, p.emd, p.mae);
+  }
+  const std::string out =
+      cli.out.empty() ? "BENCH_robustness.json" : cli.out;
+  core::write_robustness_json(curves, out);
+  std::fprintf(stderr, "wrote robustness report to %s\n", out.c_str());
   return 0;
 }
 
@@ -262,9 +312,10 @@ int main(int argc, char** argv) {
   core::Scenario scenario;
   CliOptions cli;
   int flag_start = 2;
-  if (command == "run") {
+  if (command == "run" || command == "sweep") {
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
-      std::fprintf(stderr, "fmnet_cli: run requires a scenario file\n");
+      std::fprintf(stderr, "fmnet_cli: %s requires a scenario file\n",
+                   command.c_str());
       usage(stderr);
       return 2;
     }
@@ -296,6 +347,8 @@ int main(int argc, char** argv) {
   int rc;
   if (command == "run" || command == "evaluate") {
     rc = cmd_run(scenario, cli);
+  } else if (command == "sweep") {
+    rc = cmd_sweep(scenario, cli);
   } else if (command == "simulate") {
     rc = cmd_simulate(scenario, cli);
   } else {

@@ -1,9 +1,17 @@
 #include "core/artifact_store.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -51,6 +59,23 @@ std::optional<std::string> digest_file(const std::string& path) {
 void remove_quietly(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);  // best effort; a racing reader may have won
+}
+
+/// A temp-file suffix unique to this (process, call): two writers racing on
+/// the same key — concurrent processes sharing FMNET_ARTIFACT_DIR, or two
+/// threads of one — each stream into their own temp file, so neither can
+/// observe (or rename into place) the other's half-written bytes. A shared
+/// `path + ".tmp"` would let writer B's rename publish a file writer A is
+/// still appending to.
+std::string unique_tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#ifdef _WIN32
+  const auto pid = static_cast<std::uint64_t>(_getpid());
+#else
+  const auto pid = static_cast<std::uint64_t>(getpid());
+#endif
+  return ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -110,7 +135,8 @@ std::optional<std::string> ArtifactStore::put(
   const std::string path = payload_path(kind, key);
   const std::string sidecar =
       (fs::path(dir_) / (kind + "-" + key + ".sum")).string();
-  const std::string tmp = path + ".tmp";
+  const std::string suffix = unique_tmp_suffix();
+  const std::string tmp = path + suffix;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     FMNET_CHECK(out.good(), "cannot write artifact " + tmp);
@@ -127,7 +153,7 @@ std::optional<std::string> ArtifactStore::put(
   fs::rename(tmp, path, ec);
   FMNET_CHECK(!ec, "cannot rename " + tmp + ": " + ec.message());
   {
-    const std::string sum_tmp = sidecar + ".tmp";
+    const std::string sum_tmp = sidecar + suffix;
     std::ofstream out(sum_tmp, std::ios::trunc);
     FMNET_CHECK(out.good(), "cannot write artifact digest " + sum_tmp);
     out << *digest << "\n";

@@ -17,7 +17,9 @@
 // corrupt and reports a miss, so a truncated write or bit-rot silently
 // degrades to recomputation — never to wrong results. Writes go to a
 // temporary file first and are renamed into place, so concurrent readers
-// only ever observe complete artifacts.
+// only ever observe complete artifacts; the temp name embeds the process
+// id and a per-process counter, so concurrent writers racing on the same
+// key cannot tear each other's temp file either.
 //
 // Observability: every lookup/write bumps the engine.artifact.{hit,miss,
 // write,corrupt} counters, which the CI smoke job asserts on.

@@ -19,7 +19,12 @@ namespace {
 // then fails to parse and the engine recomputes it (the store's checksum
 // only guards byte integrity, not schema).
 constexpr std::uint32_t kCampaignFormat = 1;
+// Clean datasets keep format 1 so their cached payloads stay byte-identical
+// to pre-fault builds; fault-degraded datasets (quality masks present) use
+// the masked format, which additionally serialises per-example
+// window_max_valid and the campaign-level quality masks.
 constexpr std::uint32_t kDatasetFormat = 1;
+constexpr std::uint32_t kDatasetFormatMasked = 2;
 
 void write_series(util::BinWriter& w, const fmnet::TimeSeries& s) {
   w.pod(s.step_ms());
@@ -86,14 +91,15 @@ Campaign read_campaign(std::istream& in) {
   return c;
 }
 
-void write_example(util::BinWriter& w,
-                   const telemetry::ImputationExample& ex) {
+void write_example(util::BinWriter& w, const telemetry::ImputationExample& ex,
+                   bool masked) {
   w.vec(ex.features);
   w.vec(ex.target);
   w.vec(ex.constraints.sample_idx);
   w.vec(ex.constraints.sample_val);
   w.vec(ex.constraints.window_max);
   w.vec(ex.constraints.port_sent);
+  if (masked) w.vec(ex.constraints.window_max_valid);
   w.pod(ex.constraints.coarse_factor);
   w.pod(ex.constraints.ne_tanh_scale);
   w.pod(ex.queue);
@@ -104,7 +110,7 @@ void write_example(util::BinWriter& w,
   w.pod(ex.count_scale);
 }
 
-telemetry::ImputationExample read_example(util::BinReader& r) {
+telemetry::ImputationExample read_example(util::BinReader& r, bool masked) {
   telemetry::ImputationExample ex;
   ex.features = r.vec<float>();
   ex.target = r.vec<float>();
@@ -112,6 +118,7 @@ telemetry::ImputationExample read_example(util::BinReader& r) {
   ex.constraints.sample_val = r.vec<float>();
   ex.constraints.window_max = r.vec<float>();
   ex.constraints.port_sent = r.vec<float>();
+  if (masked) ex.constraints.window_max_valid = r.vec<std::uint8_t>();
   ex.constraints.coarse_factor = r.pod<std::int64_t>();
   ex.constraints.ne_tanh_scale = r.pod<float>();
   ex.queue = r.pod<std::int32_t>();
@@ -124,23 +131,41 @@ telemetry::ImputationExample read_example(util::BinReader& r) {
 }
 
 void write_examples(util::BinWriter& w,
-                    const std::vector<telemetry::ImputationExample>& v) {
+                    const std::vector<telemetry::ImputationExample>& v,
+                    bool masked) {
   w.pod(static_cast<std::uint64_t>(v.size()));
-  for (const auto& ex : v) write_example(w, ex);
+  for (const auto& ex : v) write_example(w, ex, masked);
 }
 
-std::vector<telemetry::ImputationExample> read_examples(util::BinReader& r) {
+std::vector<telemetry::ImputationExample> read_examples(util::BinReader& r,
+                                                        bool masked) {
   const auto n = r.pod<std::uint64_t>();
   FMNET_CHECK_LE(n, 1ULL << 24);
   std::vector<telemetry::ImputationExample> v;
   v.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_example(r));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(read_example(r, masked));
+  return v;
+}
+
+void write_mask_vec(util::BinWriter& w,
+                    const std::vector<std::vector<std::uint8_t>>& v) {
+  w.pod(static_cast<std::uint64_t>(v.size()));
+  for (const auto& m : v) w.vec(m);
+}
+
+std::vector<std::vector<std::uint8_t>> read_mask_vec(util::BinReader& r) {
+  const auto n = r.pod<std::uint64_t>();
+  FMNET_CHECK_LE(n, 1ULL << 20);
+  std::vector<std::vector<std::uint8_t>> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.vec<std::uint8_t>());
   return v;
 }
 
 void write_prepared(std::ostream& out, const PreparedData& d) {
   util::BinWriter w(out);
-  w.pod(kDatasetFormat);
+  const bool masked = !d.quality.empty();
+  w.pod(masked ? kDatasetFormatMasked : kDatasetFormat);
   w.pod(static_cast<std::uint64_t>(d.dataset_config.window_ms));
   w.pod(static_cast<std::uint64_t>(d.dataset_config.factor));
   w.pod(d.dataset_config.qlen_scale);
@@ -151,13 +176,20 @@ void write_prepared(std::ostream& out, const PreparedData& d) {
   write_series_vec(w, d.coarse.snmp_sent);
   write_series_vec(w, d.coarse.snmp_dropped);
   write_series_vec(w, d.coarse.snmp_received);
-  write_examples(w, d.split.train);
-  write_examples(w, d.split.test);
+  write_examples(w, d.split.train, masked);
+  write_examples(w, d.split.test, masked);
+  if (masked) {
+    write_mask_vec(w, d.quality.periodic_valid);
+    write_mask_vec(w, d.quality.lanz_valid);
+  }
 }
 
 PreparedData read_prepared(std::istream& in) {
   util::BinReader r(in);
-  FMNET_CHECK_EQ(r.pod<std::uint32_t>(), kDatasetFormat);
+  const auto format = r.pod<std::uint32_t>();
+  FMNET_CHECK(format == kDatasetFormat || format == kDatasetFormatMasked,
+              "unknown dataset payload format");
+  const bool masked = format == kDatasetFormatMasked;
   PreparedData d;
   d.dataset_config.window_ms =
       static_cast<std::size_t>(r.pod<std::uint64_t>());
@@ -170,8 +202,12 @@ PreparedData read_prepared(std::istream& in) {
   d.coarse.snmp_sent = read_series_vec(r);
   d.coarse.snmp_dropped = read_series_vec(r);
   d.coarse.snmp_received = read_series_vec(r);
-  d.split.train = read_examples(r);
-  d.split.test = read_examples(r);
+  d.split.train = read_examples(r, masked);
+  d.split.test = read_examples(r, masked);
+  if (masked) {
+    d.quality.periodic_valid = read_mask_vec(r);
+    d.quality.lanz_valid = read_mask_vec(r);
+  }
   return d;
 }
 
@@ -234,7 +270,8 @@ PreparedData Engine::prepare(const Scenario& s, const Campaign& campaign) {
       return std::move(*cached);
     }
   }
-  PreparedData d = prepare_data(campaign, s.window_ms, s.factor);
+  PreparedData d = prepare_data(campaign, s.window_ms, s.factor, s.faults,
+                                pool_);
   store_.put("dataset", key,
              [&](std::ostream& out) { write_prepared(out, d); });
   return d;

@@ -59,6 +59,10 @@ class Engine {
 
   const ArtifactStore& store() const { return store_; }
 
+  /// The pool every stage runs on (null = global pool), exposed so
+  /// engine-driven tooling (e.g. the robustness sweep) shares it.
+  util::ThreadPool* pool() const { return pool_; }
+
   /// Stage cache keys (32 hex digits), exposed for tests and tooling.
   static std::string campaign_key(const CampaignConfig& config);
   static std::string dataset_key(const Scenario& s);

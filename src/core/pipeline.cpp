@@ -101,6 +101,14 @@ Campaign run_campaign(const CampaignConfig& config, util::ThreadPool* pool) {
 
 PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
                           std::size_t factor) {
+  return prepare_data(campaign, window_ms, factor, faults::FaultConfig{},
+                      nullptr);
+}
+
+PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
+                          std::size_t factor,
+                          const faults::FaultConfig& fault_config,
+                          util::ThreadPool* pool) {
   obs::ScopedSpan span("prepare");
   PreparedData out;
   out.dataset_config.window_ms = window_ms;
@@ -113,9 +121,23 @@ PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
 
   const auto gt = telemetry::trim_to_multiple(campaign.gt, window_ms);
   out.coarse = telemetry::sample_telemetry(gt, factor);
+  if (fault_config.enabled()) {
+    faults::FaultedTelemetry faulted =
+        faults::inject(out.coarse, fault_config, pool);
+    if (fault_config.snmp_wrap_bits > 0) {
+      // Operator-side mitigation: re-derive per-interval counts from the
+      // wrapped cumulative readings. Exact whenever true per-interval
+      // counts stay below the counter modulus (always, for >= 16 bits at
+      // paper rates), so C3 budgets remain sound.
+      faults::wrap_correct(faulted.coarse, fault_config.snmp_wrap_bits);
+    }
+    out.coarse = std::move(faulted.coarse);
+    out.quality = std::move(faulted.quality);
+  }
   auto examples = telemetry::build_examples(
       gt, out.coarse, out.dataset_config,
-      campaign.switch_config.queues_per_port);
+      campaign.switch_config.queues_per_port,
+      out.quality.empty() ? nullptr : &out.quality);
   out.split = telemetry::split_examples(std::move(examples));
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "faults/faults.h"
 #include "switchsim/recorder.h"
 #include "switchsim/switch.h"
 #include "telemetry/dataset.h"
@@ -58,6 +59,10 @@ Campaign run_campaign(const CampaignConfig& config,
 struct PreparedData {
   telemetry::DatasetConfig dataset_config;
   telemetry::CoarseTelemetry coarse;
+  /// Which coarse reports survived fault injection. Empty for clean
+  /// pipelines (and for every plausible-corruption fault the operator
+  /// cannot detect — see faults/faults.h).
+  telemetry::TelemetryQuality quality;
   telemetry::DatasetSplit split;
 };
 
@@ -66,5 +71,17 @@ struct PreparedData {
 /// per-interval port capacity.
 PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
                           std::size_t factor);
+
+/// As above, but degrades the sampled telemetry through the configured
+/// fault pipeline before windowing (paper robustness evaluation). With
+/// faults.enabled() == false this is bit-identical to the clean overload.
+/// Wrap-corrupted SNMP counters are re-derived via faults::wrap_correct
+/// before windowing — the operator-side mitigation — so C3 budgets stay
+/// sound; lost periodic/LANZ reports surface as quality masks and interval
+/// constraints instead of fabricated equalities.
+PreparedData prepare_data(const Campaign& campaign, std::size_t window_ms,
+                          std::size_t factor,
+                          const faults::FaultConfig& faults,
+                          util::ThreadPool* pool = nullptr);
 
 }  // namespace fmnet::core

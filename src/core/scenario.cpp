@@ -341,6 +341,85 @@ const std::vector<OptionDef>& option_defs() {
            s.methods = std::move(methods);
          },
          [](const Scenario& s) { return fmnet::join(s.methods, ","); }});
+
+    // --- telemetry fault injection (faults/faults.h) ---
+    // Appended after every pre-existing key so the emit() ranges used as
+    // cache-key material by canonical_campaign/dataset/training are
+    // unchanged for clean scenarios.
+    auto fault_rate = [](const char* key, double faults::FaultConfig::*m) {
+      return OptionDef{
+          key,
+          [m](Scenario& s, const std::string& k, const std::string& v) {
+            const double r = parse_real(k, v);
+            FMNET_CHECK(r >= 0.0 && r <= 1.0,
+                        "option " + k + ": rate out of [0,1]");
+            s.faults.*m = r;
+          },
+          [m](const Scenario& s) { return fmt_real(s.faults.*m); }};
+    };
+    defs.push_back({"faults.seed",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      s.faults.seed =
+                          static_cast<std::uint64_t>(parse_int(k, v));
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(
+                          static_cast<std::int64_t>(s.faults.seed));
+                    }});
+    defs.push_back({"faults.severity",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const double sev = parse_real(k, v);
+                      FMNET_CHECK_GE(sev, 0.0);
+                      s.faults.severity = sev;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_real(s.faults.severity);
+                    }});
+    defs.push_back(fault_rate("faults.periodic-drop",
+                              &faults::FaultConfig::periodic_drop));
+    defs.push_back(
+        fault_rate("faults.lanz-drop", &faults::FaultConfig::lanz_drop));
+    defs.push_back(
+        fault_rate("faults.lanz-late", &faults::FaultConfig::lanz_late));
+    defs.push_back(
+        fault_rate("faults.snmp-jitter", &faults::FaultConfig::snmp_jitter));
+    defs.push_back({"faults.snmp-wrap-bits",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto bits = parse_int(k, v);
+                      FMNET_CHECK(bits >= 0 && bits <= 32,
+                                  "option " + k + ": bits out of [0,32]");
+                      s.faults.snmp_wrap_bits = bits;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.faults.snmp_wrap_bits);
+                    }});
+    defs.push_back(
+        fault_rate("faults.duplicate", &faults::FaultConfig::duplicate));
+    defs.push_back(
+        fault_rate("faults.reorder", &faults::FaultConfig::reorder));
+    defs.push_back({"faults.noise",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const double n = parse_real(k, v);
+                      FMNET_CHECK_GE(n, 0.0);
+                      s.faults.noise = n;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_real(s.faults.noise);
+                    }});
+    defs.push_back({"faults.quantize",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto q = parse_int(k, v);
+                      FMNET_CHECK_GE(q, 0);
+                      s.faults.quantize = q;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.faults.quantize);
+                    }});
     return defs;
   }();
   return kDefs;
@@ -384,9 +463,7 @@ const std::vector<std::string>& scenario_option_keys() {
   return kKeys;
 }
 
-Scenario load_scenario_file(const std::string& path) {
-  std::ifstream in(path);
-  FMNET_CHECK(in.good(), "cannot open scenario file " + path);
+Scenario parse_scenario(std::istream& in, const std::string& origin) {
   Scenario s;
   std::string section;
   std::string line;
@@ -399,18 +476,18 @@ Scenario load_scenario_file(const std::string& path) {
     if (line.empty()) continue;
     if (line.front() == '[') {
       FMNET_CHECK(line.back() == ']',
-                  path + ":" + std::to_string(lineno) +
+                  origin + ":" + std::to_string(lineno) +
                       ": malformed section header " + line);
       section = trim(line.substr(1, line.size() - 2));
       continue;
     }
     const auto eq = line.find('=');
     FMNET_CHECK(eq != std::string::npos,
-                path + ":" + std::to_string(lineno) +
+                origin + ":" + std::to_string(lineno) +
                     ": expected key = value, got '" + line + "'");
     std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
-    FMNET_CHECK(!key.empty(), path + ":" + std::to_string(lineno) +
+    FMNET_CHECK(!key.empty(), origin + ":" + std::to_string(lineno) +
                                   ": empty option key");
     // Unqualified keys inside a [section] get the section prefix; `name`
     // and `methods` are top-level keys in any section.
@@ -423,8 +500,21 @@ Scenario load_scenario_file(const std::string& path) {
   return s;
 }
 
+Scenario parse_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in, "<string>");
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  FMNET_CHECK(in.good(), "cannot open scenario file " + path);
+  return parse_scenario(in, path);
+}
+
 std::string canonical_scenario(const Scenario& s) {
-  return emit(s, "name", "methods");
+  // Full round trip: every option key, faults included, so
+  // parse(canonical(s)) == s for any s (fuzz-tested fixpoint).
+  return emit(s, "name", "faults.quantize");
 }
 
 std::string canonical_campaign(const CampaignConfig& c) {
@@ -438,7 +528,15 @@ std::string canonical_campaign(const CampaignConfig& c) {
 
 std::string canonical_dataset(const Scenario& s) {
   return canonical_campaign(s.campaign) +
-         emit(s, "data.window-ms", "data.factor");
+         emit(s, "data.window-ms", "data.factor") + canonical_faults(s);
+}
+
+std::string canonical_faults(const Scenario& s) {
+  // Disabled fault injection contributes nothing: the dataset (and every
+  // artifact chained off it) keys exactly as it did before faults existed,
+  // so clean runs keep hitting pre-fault caches.
+  if (!s.faults.enabled()) return "";
+  return emit(s, "faults.seed", "faults.quantize");
 }
 
 std::string canonical_training(const Scenario& s,

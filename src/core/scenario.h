@@ -29,10 +29,12 @@
 // silently fall back to a default.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "faults/faults.h"
 #include "impute/cem.h"
 #include "impute/transformer_imputer.h"
 #include "nn/transformer.h"
@@ -54,6 +56,10 @@ struct Scenario {
   double burst_threshold_fraction = 0.08;
   /// Imputation methods to evaluate, by registry name (impute/registry.h).
   std::vector<std::string> methods = {"transformer+kal+cem"};
+  /// Telemetry fault injection between simulate and prepare (faults/faults.h).
+  /// All-zero by default: the clean pipeline and its cache keys are
+  /// byte-identical to a scenario with no faults.* keys at all.
+  faults::FaultConfig faults;
 
   Scenario();
 };
@@ -66,6 +72,14 @@ void apply_scenario_option(Scenario& s, const std::string& key,
 /// Parses an INI-style scenario file (format in the file comment). Throws
 /// CheckError on I/O failure or malformed/unknown entries.
 Scenario load_scenario_file(const std::string& path);
+
+/// Parses scenario text from a stream; `origin` labels error messages
+/// (a path or e.g. "<string>"). Throws CheckError on malformed/unknown
+/// entries — never crashes on arbitrary input (fuzz-tested).
+Scenario parse_scenario(std::istream& in, const std::string& origin);
+
+/// Convenience wrapper over parse_scenario for in-memory text.
+Scenario parse_scenario_string(const std::string& text);
 
 /// Every option key apply_scenario_option accepts, in canonical order.
 const std::vector<std::string>& scenario_option_keys();
@@ -80,10 +94,14 @@ std::string canonical_scenario(const Scenario& s);
 /// fields that influence that stage's output:
 ///   campaign  — the full CampaignConfig (shard_ms included: shards are
 ///               seeded per-index, so sharding changes the ground truth);
-///   dataset   — campaign + windowing;
+///   dataset   — campaign + windowing + active fault injection;
 ///   training  — dataset + model + train + method name.
 std::string canonical_campaign(const CampaignConfig& c);
 std::string canonical_dataset(const Scenario& s);
 std::string canonical_training(const Scenario& s, const std::string& method);
+
+/// Canonical faults.* block — empty when fault injection is disabled, so
+/// clean scenarios hash exactly as they did before faults existed.
+std::string canonical_faults(const Scenario& s);
 
 }  // namespace fmnet::core

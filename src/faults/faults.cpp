@@ -1,0 +1,480 @@
+#include "faults/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fmnet::faults {
+
+namespace {
+
+// Event counters, bumped in bulk per apply() so injection loops stay tight.
+struct FaultMetrics {
+  obs::Counter& injections;
+  obs::Counter& periodic_dropped;
+  obs::Counter& lanz_dropped;
+  obs::Counter& lanz_late;
+  obs::Counter& snmp_jitter_events;
+  obs::Counter& snmp_wraps;
+  obs::Counter& duplicated;
+  obs::Counter& reordered;
+  static FaultMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static FaultMetrics m{reg.counter("faults.injections"),
+                          reg.counter("faults.periodic_dropped"),
+                          reg.counter("faults.lanz_dropped"),
+                          reg.counter("faults.lanz_late"),
+                          reg.counter("faults.snmp_jitter_events"),
+                          reg.counter("faults.snmp_wraps"),
+                          reg.counter("faults.duplicated"),
+                          reg.counter("faults.reordered")};
+    return m;
+  }
+};
+
+/// Seed for stream `series` of injector `kind`: two derivation levels keep
+/// injectors independent of each other and series independent of lane
+/// assignment.
+std::uint64_t stream_seed(std::uint64_t seed, InjectorKind kind,
+                          std::uint64_t series) {
+  return derive_stream_seed(
+      derive_stream_seed(seed, static_cast<std::uint64_t>(kind)), series);
+}
+
+/// Adjacent-swap reordering / stale-duplicate overwrite of one record
+/// stream. The operator cannot detect either (the values look plausible),
+/// so no mask is touched — this is the insidious corruption class.
+class ReorderInjector : public Injector {
+ public:
+  explicit ReorderInjector(double rate)
+      : Injector(InjectorKind::kReorder), rate_(rate) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    const std::size_t queues = t.coarse.periodic_qlen.size();
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(2 * queues), [&](std::int64_t s) {
+          auto& v = s < static_cast<std::int64_t>(queues)
+                        ? t.coarse.periodic_qlen[static_cast<std::size_t>(s)]
+                              .values()
+                        : t.coarse
+                              .max_qlen[static_cast<std::size_t>(s) - queues]
+                              .values();
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(s)));
+          std::int64_t local = 0;
+          for (std::size_t k = 1; k < v.size(); ++k) {
+            if (rng.bernoulli(rate_)) {
+              std::swap(v[k - 1], v[k]);
+              ++local;
+            }
+          }
+          if (local > 0) FaultMetrics::get().reordered.add(local);
+        });
+  }
+
+ private:
+  double rate_;
+};
+
+class DuplicateInjector : public Injector {
+ public:
+  explicit DuplicateInjector(double rate)
+      : Injector(InjectorKind::kDuplicate), rate_(rate) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    const std::size_t queues = t.coarse.periodic_qlen.size();
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(2 * queues), [&](std::int64_t s) {
+          auto& v = s < static_cast<std::int64_t>(queues)
+                        ? t.coarse.periodic_qlen[static_cast<std::size_t>(s)]
+                              .values()
+                        : t.coarse
+                              .max_qlen[static_cast<std::size_t>(s) - queues]
+                              .values();
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(s)));
+          std::int64_t local = 0;
+          for (std::size_t k = 1; k < v.size(); ++k) {
+            if (rng.bernoulli(rate_)) {
+              v[k] = v[k - 1];
+              ++local;
+            }
+          }
+          if (local > 0) FaultMetrics::get().duplicated.add(local);
+        });
+  }
+
+ private:
+  double rate_;
+};
+
+/// Dropped reports: the operator's collector holds the last surviving
+/// value (stale carry-forward) and the mask marks the interval invalid.
+class DropInjector : public Injector {
+ public:
+  DropInjector(InjectorKind kind, double rate) : Injector(kind), rate_(rate) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    const bool periodic = kind() == InjectorKind::kPeriodicDrop;
+    auto& series = periodic ? t.coarse.periodic_qlen : t.coarse.max_qlen;
+    auto& masks = periodic ? t.quality.periodic_valid : t.quality.lanz_valid;
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(series.size()), [&](std::int64_t q) {
+          auto& v = series[static_cast<std::size_t>(q)].values();
+          auto& valid = masks[static_cast<std::size_t>(q)];
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(q)));
+          double last = 0.0;
+          std::int64_t local = 0;
+          for (std::size_t k = 0; k < v.size(); ++k) {
+            if (rng.bernoulli(rate_)) {
+              valid[k] = 0;
+              v[k] = last;
+              ++local;
+            } else {
+              last = v[k];
+            }
+          }
+          if (local == 0) return;
+          auto& m = FaultMetrics::get();
+          (periodic ? m.periodic_dropped : m.lanz_dropped).add(local);
+        });
+  }
+
+ private:
+  double rate_;
+};
+
+/// Late LANZ reports: interval k shows a stale value at its deadline (C1
+/// invalid), while the true maximum merges into interval k+1's report via
+/// max — which keeps k+1 a sound upper bound whenever it was valid.
+class LanzLateInjector : public Injector {
+ public:
+  explicit LanzLateInjector(double rate)
+      : Injector(InjectorKind::kLanzLate), rate_(rate) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(t.coarse.max_qlen.size()),
+        [&](std::int64_t q) {
+          auto& v = t.coarse.max_qlen[static_cast<std::size_t>(q)].values();
+          auto& valid = t.quality.lanz_valid[static_cast<std::size_t>(q)];
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(q)));
+          double pending = -1.0;  // late value waiting to land here
+          std::int64_t local = 0;
+          for (std::size_t k = 0; k < v.size(); ++k) {
+            const double current = v[k];
+            double reported = current;
+            const bool late = k + 1 < v.size() && rng.bernoulli(rate_);
+            if (late) {
+              valid[k] = 0;
+              reported = k > 0 ? v[k - 1] : 0.0;
+              ++local;
+            }
+            if (pending >= 0.0) reported = std::max(reported, pending);
+            v[k] = reported;
+            pending = late ? current : -1.0;
+          }
+          if (local > 0) FaultMetrics::get().lanz_late.add(local);
+        });
+  }
+
+ private:
+  double rate_;
+};
+
+/// Polling-boundary jitter: the poll closing interval k fires late, so a
+/// fraction of interval k+1's packets is attributed to k — jointly for the
+/// sent/dropped/received counters (one poll reads all three). Totals are
+/// conserved and counts stay non-negative integers.
+class SnmpJitterInjector : public Injector {
+ public:
+  explicit SnmpJitterInjector(double rate)
+      : Injector(InjectorKind::kSnmpJitter), rate_(rate) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(t.coarse.snmp_sent.size()),
+        [&](std::int64_t p) {
+          std::vector<double>* counters[3] = {
+              &t.coarse.snmp_sent[static_cast<std::size_t>(p)].values(),
+              &t.coarse.snmp_dropped[static_cast<std::size_t>(p)].values(),
+              &t.coarse.snmp_received[static_cast<std::size_t>(p)].values()};
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(p)));
+          const std::size_t n = counters[0]->size();
+          std::int64_t local = 0;
+          for (std::size_t k = 0; k + 1 < n; ++k) {
+            if (!rng.bernoulli(rate_)) continue;
+            const double f = rng.uniform(0.0, 0.5);
+            for (auto* c : counters) {
+              const double moved = std::floor((*c)[k + 1] * f);
+              (*c)[k] += moved;
+              (*c)[k + 1] -= moved;
+            }
+            ++local;
+          }
+          if (local > 0) FaultMetrics::get().snmp_jitter_events.add(local);
+        });
+  }
+
+ private:
+  double rate_;
+};
+
+/// Counter wrap: the device exports a cumulative counter of `bits` width;
+/// per-interval readings become diffs of consecutive readbacks, which go
+/// negative when the counter wraps. The initial counter value is seeded so
+/// that at least one wrap occurs within the campaign (a counter far from
+/// its limit would make the fault a no-op on short runs).
+class SnmpWrapInjector : public Injector {
+ public:
+  explicit SnmpWrapInjector(std::int64_t bits)
+      : Injector(InjectorKind::kSnmpWrap), bits_(bits) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    std::vector<std::vector<fmnet::TimeSeries>*> groups = {
+        &t.coarse.snmp_sent, &t.coarse.snmp_dropped, &t.coarse.snmp_received};
+    const std::size_t ports = t.coarse.snmp_sent.size();
+    const std::uint64_t modulus = 1ULL << bits_;
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(3 * ports), [&](std::int64_t s) {
+          auto& v = (*groups[static_cast<std::size_t>(s) / ports])
+                        [static_cast<std::size_t>(s) % ports]
+                            .values();
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(s)));
+          std::uint64_t total = 0;
+          for (const double d : v) {
+            total += static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, std::llround(d)));
+          }
+          // Start the counter close enough to 2^bits that it wraps within
+          // this campaign (when it counts anything at all).
+          const std::uint64_t offset =
+              total > 0 ? (modulus - 1 - rng.next_u64() % total) &
+                              (modulus - 1)
+                        : rng.next_u64() & (modulus - 1);
+          std::uint64_t cumulative = offset;
+          std::uint64_t prev_read = offset;
+          std::int64_t local = 0;
+          for (std::size_t k = 0; k < v.size(); ++k) {
+            cumulative += static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, std::llround(v[k])));
+            const std::uint64_t read = cumulative & (modulus - 1);
+            const std::int64_t diff = static_cast<std::int64_t>(read) -
+                                      static_cast<std::int64_t>(prev_read);
+            if (diff < 0) ++local;
+            v[k] = static_cast<double>(diff);
+            prev_read = read;
+          }
+          if (local > 0) FaultMetrics::get().snmp_wraps.add(local);
+        });
+  }
+
+ private:
+  std::int64_t bits_;
+};
+
+/// Additive Gaussian noise on the queue-length channels (clamped at 0).
+class NoiseInjector : public Injector {
+ public:
+  explicit NoiseInjector(double stddev)
+      : Injector(InjectorKind::kNoise), stddev_(stddev) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t seed,
+             util::ThreadPool& pool) const override {
+    const std::size_t queues = t.coarse.periodic_qlen.size();
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(2 * queues), [&](std::int64_t s) {
+          auto& v = s < static_cast<std::int64_t>(queues)
+                        ? t.coarse.periodic_qlen[static_cast<std::size_t>(s)]
+                              .values()
+                        : t.coarse
+                              .max_qlen[static_cast<std::size_t>(s) - queues]
+                              .values();
+          Rng rng(stream_seed(seed, kind(),
+                              static_cast<std::uint64_t>(s)));
+          for (double& x : v) {
+            x = std::max(0.0, x + rng.normal(0.0, stddev_));
+          }
+        });
+  }
+
+ private:
+  double stddev_;
+};
+
+/// Quantisation to a fixed packet step (coarse reporting granularity).
+class QuantizeInjector : public Injector {
+ public:
+  explicit QuantizeInjector(std::int64_t step)
+      : Injector(InjectorKind::kQuantize), step_(step) {}
+
+  void apply(FaultedTelemetry& t, std::uint64_t /*seed*/,
+             util::ThreadPool& pool) const override {
+    const std::size_t queues = t.coarse.periodic_qlen.size();
+    const double step = static_cast<double>(step_);
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(2 * queues), [&](std::int64_t s) {
+          auto& v = s < static_cast<std::int64_t>(queues)
+                        ? t.coarse.periodic_qlen[static_cast<std::size_t>(s)]
+                              .values()
+                        : t.coarse
+                              .max_qlen[static_cast<std::size_t>(s) - queues]
+                              .values();
+          for (double& x : v) {
+            x = std::round(x / step) * step;
+          }
+        });
+  }
+
+ private:
+  std::int64_t step_;
+};
+
+}  // namespace
+
+bool FaultConfig::enabled() const {
+  if (severity <= 0.0) return false;
+  return periodic_drop > 0.0 || lanz_drop > 0.0 || lanz_late > 0.0 ||
+         snmp_jitter > 0.0 || snmp_wrap_bits > 0 || duplicate > 0.0 ||
+         reorder > 0.0 || noise > 0.0 || quantize > 1;
+}
+
+double FaultConfig::rate(double r) const {
+  return std::clamp(r * severity, 0.0, 1.0);
+}
+
+double FaultConfig::noise_stddev() const {
+  return std::max(0.0, noise * severity);
+}
+
+const char* injector_name(InjectorKind kind) {
+  switch (kind) {
+    case InjectorKind::kReorder:
+      return "reorder";
+    case InjectorKind::kDuplicate:
+      return "duplicate";
+    case InjectorKind::kPeriodicDrop:
+      return "periodic-drop";
+    case InjectorKind::kLanzDrop:
+      return "lanz-drop";
+    case InjectorKind::kLanzLate:
+      return "lanz-late";
+    case InjectorKind::kSnmpJitter:
+      return "snmp-jitter";
+    case InjectorKind::kSnmpWrap:
+      return "snmp-wrap";
+    case InjectorKind::kNoise:
+      return "noise";
+    case InjectorKind::kQuantize:
+      return "quantize";
+  }
+  return "unknown";
+}
+
+InjectorList make_injectors(const FaultConfig& config) {
+  InjectorList out;
+  if (!config.enabled()) return out;
+  if (config.rate(config.reorder) > 0.0) {
+    out.push_back(
+        std::make_unique<ReorderInjector>(config.rate(config.reorder)));
+  }
+  if (config.rate(config.duplicate) > 0.0) {
+    out.push_back(
+        std::make_unique<DuplicateInjector>(config.rate(config.duplicate)));
+  }
+  if (config.rate(config.periodic_drop) > 0.0) {
+    out.push_back(std::make_unique<DropInjector>(
+        InjectorKind::kPeriodicDrop, config.rate(config.periodic_drop)));
+  }
+  if (config.rate(config.lanz_drop) > 0.0) {
+    out.push_back(std::make_unique<DropInjector>(
+        InjectorKind::kLanzDrop, config.rate(config.lanz_drop)));
+  }
+  if (config.rate(config.lanz_late) > 0.0) {
+    out.push_back(
+        std::make_unique<LanzLateInjector>(config.rate(config.lanz_late)));
+  }
+  if (config.rate(config.snmp_jitter) > 0.0) {
+    out.push_back(
+        std::make_unique<SnmpJitterInjector>(config.rate(config.snmp_jitter)));
+  }
+  if (config.snmp_wrap_bits > 0) {
+    FMNET_CHECK_LE(config.snmp_wrap_bits, 32);
+    out.push_back(std::make_unique<SnmpWrapInjector>(config.snmp_wrap_bits));
+  }
+  if (config.noise_stddev() > 0.0) {
+    out.push_back(std::make_unique<NoiseInjector>(config.noise_stddev()));
+  }
+  if (config.quantize > 1) {
+    out.push_back(std::make_unique<QuantizeInjector>(config.quantize));
+  }
+  return out;
+}
+
+void canonicalize(InjectorList& pipeline) {
+  std::stable_sort(pipeline.begin(), pipeline.end(),
+                   [](const std::unique_ptr<Injector>& a,
+                      const std::unique_ptr<Injector>& b) {
+                     return static_cast<std::uint32_t>(a->kind()) <
+                            static_cast<std::uint32_t>(b->kind());
+                   });
+}
+
+FaultedTelemetry inject(const telemetry::CoarseTelemetry& clean,
+                        InjectorList pipeline, std::uint64_t seed,
+                        util::ThreadPool* pool) {
+  FaultedTelemetry t;
+  t.coarse = clean;
+  if (pipeline.empty()) return t;
+  obs::ScopedSpan span("faults.inject");
+  FaultMetrics::get().injections.add(1);
+
+  const std::size_t intervals = clean.num_intervals();
+  t.quality.periodic_valid.assign(
+      clean.periodic_qlen.size(),
+      std::vector<std::uint8_t>(intervals, 1));
+  t.quality.lanz_valid.assign(clean.max_qlen.size(),
+                              std::vector<std::uint8_t>(intervals, 1));
+
+  canonicalize(pipeline);
+  util::ThreadPool& resolved = util::ThreadPool::resolve(pool);
+  for (const auto& injector : pipeline) {
+    injector->apply(t, seed, resolved);
+  }
+  return t;
+}
+
+FaultedTelemetry inject(const telemetry::CoarseTelemetry& clean,
+                        const FaultConfig& config, util::ThreadPool* pool) {
+  return inject(clean, make_injectors(config), config.seed, pool);
+}
+
+void wrap_correct(telemetry::CoarseTelemetry& ct, std::int64_t bits) {
+  FMNET_CHECK(bits >= 1 && bits <= 32, "snmp wrap bits out of [1,32]");
+  const std::int64_t modulus = std::int64_t{1} << bits;
+  for (auto* group : {&ct.snmp_sent, &ct.snmp_dropped, &ct.snmp_received}) {
+    for (auto& series : *group) {
+      for (double& x : series.values()) {
+        const std::int64_t d = std::llround(x);
+        x = static_cast<double>(((d % modulus) + modulus) % modulus);
+      }
+    }
+  }
+}
+
+}  // namespace fmnet::faults

@@ -51,8 +51,38 @@ CemConstraints to_packet_constraints(const nn::ExampleConstraints& c,
   for (const float v : c.port_sent) {
     out.port_sent.push_back(std::llround(static_cast<double>(v)));
   }
+  out.window_max_valid = c.window_max_valid;
   return out;
 }
+
+namespace {
+
+/// The effective C1 bound for one interval. Valid intervals use the LANZ
+/// report. Invalid ones (report lost) get a bound wide enough to admit the
+/// rounded reference and every sampled value, so C1 never binds there
+/// while the SMT variable domains stay finite.
+std::int64_t effective_m_max(const CemConstraints& c, std::int64_t w,
+                             const std::vector<double>& imputed,
+                             const std::vector<std::int64_t>& sample_at,
+                             std::int64_t begin, std::int64_t factor) {
+  const std::int64_t reported =
+      c.window_max[static_cast<std::size_t>(w)];
+  if (c.window_max_valid.empty() ||
+      c.window_max_valid[static_cast<std::size_t>(w)] != 0) {
+    return reported;
+  }
+  std::int64_t hi = 0;
+  for (std::int64_t t = begin; t < begin + factor; ++t) {
+    hi = std::max(hi, std::max<std::int64_t>(
+                          0, std::llround(imputed[static_cast<std::size_t>(
+                                 t)])));
+    const std::int64_t s = sample_at[static_cast<std::size_t>(t)];
+    if (s > hi) hi = s;
+  }
+  return hi;
+}
+
+}  // namespace
 
 namespace {
 std::int64_t iabs(std::int64_t v) { return v < 0 ? -v : v; }
@@ -206,6 +236,11 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     FMNET_CHECK_EQ(per_queue[q].coarse_factor, factor);
     FMNET_CHECK_EQ(static_cast<std::int64_t>(per_queue[q].window_max.size()),
                    windows);
+    if (!per_queue[q].window_max_valid.empty()) {
+      FMNET_CHECK_EQ(
+          static_cast<std::int64_t>(per_queue[q].window_max_valid.size()),
+          windows);
+    }
   }
 
   // Scatter samples per queue.
@@ -256,9 +291,10 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     std::vector<smt::LinExpr> step_nz(static_cast<std::size_t>(factor));
 
     for (std::size_t q = 0; q < nq; ++q) {
-      // C1 (upper bound) is each variable's domain [0, m_max].
-      const std::int64_t m_max =
-          per_queue[q].window_max[static_cast<std::size_t>(w)];
+      // C1 (upper bound) is each variable's domain [0, m_max]; intervals
+      // with a lost LANZ report get the relaxed effective bound instead.
+      const std::int64_t m_max = effective_m_max(
+          per_queue[q], w, imputed[q], sample_at[q], begin, factor);
       for (std::int64_t t = 0; t < factor; ++t) {
         const smt::VarId v = model.new_int(0, m_max);
         qv[q].push_back(v);
@@ -370,6 +406,10 @@ CemResult ConstraintEnforcementModule::correct(
   // Validate serially so malformed constraints throw deterministically,
   // then correct the independent intervals concurrently into per-window
   // slots and stitch in window order.
+  if (!c.window_max_valid.empty()) {
+    FMNET_CHECK_EQ(static_cast<std::int64_t>(c.window_max_valid.size()),
+                   windows);
+  }
   for (std::int64_t w = 0; w < windows; ++w) {
     FMNET_CHECK_GE(c.window_max[static_cast<std::size_t>(w)], 0);
     FMNET_CHECK_GE(c.port_sent[static_cast<std::size_t>(w)], 0);
@@ -387,7 +427,8 @@ CemResult ConstraintEnforcementModule::correct(
         const std::vector<std::int64_t> window_samples(
             sample_at.begin() + static_cast<std::ptrdiff_t>(begin),
             sample_at.begin() + static_cast<std::ptrdiff_t>(begin + factor));
-        const std::int64_t m_max = c.window_max[static_cast<std::size_t>(w)];
+        const std::int64_t m_max = effective_m_max(
+            c, w, imputed, sample_at, w * factor, factor);
         const std::int64_t m_out = c.port_sent[static_cast<std::size_t>(w)];
         results[static_cast<std::size_t>(w)] =
             config_.engine == CemEngine::kFastRepair

@@ -44,6 +44,11 @@ struct CemConstraints {
   std::vector<std::int64_t> sample_val;  // packets
   std::vector<std::int64_t> window_max;  // packets, per interval
   std::vector<std::int64_t> port_sent;   // steps, per interval (pre-capped)
+  /// C1 validity per interval (empty = all valid, see nn/kal.h). Where 0,
+  /// the LANZ report was lost and window_max is stale: CEM relaxes the
+  /// interval's bound so C1 cannot bind there — the correction enforces
+  /// only C2/C3 and never clamps to a value the operator never received.
+  std::vector<std::uint8_t> window_max_valid;
   std::int64_t coarse_factor = 50;
 };
 

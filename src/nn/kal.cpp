@@ -21,11 +21,20 @@ KalTerms kal_penalty(const Tensor& pred, const ExampleConstraints& c,
   FMNET_CHECK_EQ(static_cast<std::int64_t>(c.window_max.size()), windows);
   FMNET_CHECK_EQ(static_cast<std::int64_t>(c.port_sent.size()), windows);
   FMNET_CHECK_EQ(c.sample_idx.size(), c.sample_val.size());
+  if (!c.window_max_valid.empty()) {
+    FMNET_CHECK_EQ(static_cast<std::int64_t>(c.window_max_valid.size()),
+                   windows);
+  }
 
   // Φ: C1 per-window max (upper bound — only exceeding the LANZ max is a
-  // violation, see kal.h) and C2 sampled points (equality).
+  // violation, see kal.h; intervals whose LANZ report was lost carry no
+  // bound and are exempt) and C2 sampled points (equality).
   Tensor phi = Tensor::scalar(0.0f);
   for (std::int64_t w = 0; w < windows; ++w) {
+    if (!c.window_max_valid.empty() &&
+        c.window_max_valid[static_cast<std::size_t>(w)] == 0) {
+      continue;
+    }
     const Tensor win =
         tensor::slice(pred, 0, w * c.coarse_factor, (w + 1) * c.coarse_factor);
     const Tensor wmax = max_all(win);
@@ -111,8 +120,13 @@ ConstraintViolations evaluate_constraints(const std::vector<double>& pred,
       wmax = std::max(wmax, q);
       if (q > 0.0) ++ne;
     }
-    v.max_violation += std::max(
-        0.0, wmax - c.window_max[static_cast<std::size_t>(w)]);
+    const bool c1_valid =
+        c.window_max_valid.empty() ||
+        c.window_max_valid[static_cast<std::size_t>(w)] != 0;
+    if (c1_valid) {
+      v.max_violation += std::max(
+          0.0, wmax - c.window_max[static_cast<std::size_t>(w)]);
+    }
     v.sent_violation += std::max(
         0.0, static_cast<double>(ne) -
                  static_cast<double>(c.port_sent[static_cast<std::size_t>(w)]));

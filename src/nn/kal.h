@@ -49,6 +49,13 @@ struct ExampleConstraints {
   /// C1: per-coarse-interval maximum queue length (LANZ); an upper bound
   /// on every fine step of the window (see file comment).
   std::vector<float> window_max;
+  /// C1 validity per coarse interval: empty = every LANZ report survived
+  /// (the clean-telemetry case). When fault injection (src/faults) drops
+  /// or delays a report, the interval's entry is 0 and its window_max is a
+  /// stale carry-forward — not a bound — so kal_penalty,
+  /// evaluate_constraints and CEM must not enforce C1 there. C1 becomes an
+  /// *interval* constraint: binding exactly where the report survived.
+  std::vector<std::uint8_t> window_max_valid;
   /// C3: per-coarse-interval packets sent by the port (SNMP), expressed in
   /// "fine steps" units (i.e. already min'd with the interval length).
   std::vector<float> port_sent;

@@ -28,8 +28,15 @@ void ConsistencyAccumulator::add(const std::vector<double>& imputed,
         static_cast<double>(c.window_max[static_cast<std::size_t>(w)]);
     // C1 is an upper bound (see nn/kal.h): staying below the LANZ max is
     // legal because the true slot-level peak may fall between ms samples.
-    max_violation += std::max(0.0, wmax - m_max);
-    max_norm += m_max;
+    // Intervals whose LANZ report was lost (window_max_valid == 0) carry
+    // no bound, so they contribute neither violation nor normalisation.
+    const bool c1_valid =
+        c.window_max_valid.empty() ||
+        c.window_max_valid[static_cast<std::size_t>(w)] != 0;
+    if (c1_valid) {
+      max_violation += std::max(0.0, wmax - m_max);
+      max_norm += m_max;
+    }
     const double m_out =
         static_cast<double>(c.port_sent[static_cast<std::size_t>(w)]);
     sent_violation += std::max(0.0, static_cast<double>(ne) - m_out);

@@ -8,7 +8,8 @@ namespace fmnet::telemetry {
 
 std::vector<ImputationExample> build_examples(
     const switchsim::GroundTruth& gt, const CoarseTelemetry& ct,
-    const DatasetConfig& config, std::int32_t queues_per_port) {
+    const DatasetConfig& config, std::int32_t queues_per_port,
+    const TelemetryQuality* quality) {
   FMNET_CHECK_GT(config.window_ms, 0u);
   FMNET_CHECK_GT(config.factor, 0u);
   FMNET_CHECK_EQ(config.window_ms % config.factor, 0u);
@@ -16,6 +17,11 @@ std::vector<ImputationExample> build_examples(
   FMNET_CHECK_GT(config.count_scale, 0.0);
   FMNET_CHECK_GT(queues_per_port, 0);
   FMNET_CHECK_EQ(gt.num_ms() % config.factor, 0u);
+  const bool masked = quality != nullptr && !quality->empty();
+  if (masked) {
+    FMNET_CHECK_EQ(quality->periodic_valid.size(), gt.queue_len.size());
+    FMNET_CHECK_EQ(quality->lanz_valid.size(), gt.queue_len.size());
+  }
 
   const std::size_t total_ms = gt.num_ms();
   const std::size_t num_windows = total_ms / config.window_ms;
@@ -65,15 +71,23 @@ std::vector<ImputationExample> build_examples(
       c.coarse_factor = static_cast<std::int64_t>(config.factor);
       c.window_max.resize(wpi);
       c.port_sent.resize(wpi);
+      if (masked) c.window_max_valid.assign(wpi, 1);
       for (std::size_t i = 0; i < wpi; ++i) {
         const std::size_t interval = start / config.factor + i;
         c.window_max[i] = static_cast<float>(ct.max_qlen[q][interval] /
                                              config.qlen_scale);
+        if (masked && quality->lanz_valid[q][interval] == 0) {
+          // The LANZ report for this interval was lost in transit; the
+          // stored value is a stale carry-forward, so C1 must not bind.
+          c.window_max_valid[i] = 0;
+        }
         c.port_sent[i] = static_cast<float>(
             std::min<double>(static_cast<double>(config.factor),
                              ct.snmp_sent[port][interval]));
         // C2: the periodic sample lands on the first fine step of the
-        // interval.
+        // interval. A dropped periodic report emits no equality at all —
+        // the operator never received a value to pin the series to.
+        if (masked && quality->periodic_valid[q][interval] == 0) continue;
         c.sample_idx.push_back(static_cast<std::int64_t>(i * config.factor));
         c.sample_val.push_back(static_cast<float>(
             ct.periodic_qlen[q][interval] / config.qlen_scale));

@@ -61,9 +61,17 @@ struct DatasetConfig {
 /// non-empty fine step implies at least one departure in that step (work
 /// conservation), so #non-empty steps can never exceed packets sent and is
 /// trivially capped by the interval length.
+///
+/// `quality` (null = clean telemetry) marks which coarse reports survived
+/// fault injection: intervals with a dropped periodic sample emit no C2
+/// equality, and intervals with a lost LANZ report are recorded in
+/// constraints.window_max_valid so C1 becomes an interval constraint
+/// (nn/kal.h). With a null quality, the produced examples are byte-
+/// identical to the pre-fault pipeline.
 std::vector<ImputationExample> build_examples(
     const switchsim::GroundTruth& gt, const CoarseTelemetry& ct,
-    const DatasetConfig& config, std::int32_t queues_per_port);
+    const DatasetConfig& config, std::int32_t queues_per_port,
+    const TelemetryQuality* quality = nullptr);
 
 /// Splits examples into train/test by window parity (even windows train,
 /// odd test) so both splits cover the whole campaign and all queues.

@@ -13,6 +13,9 @@
 // the Constraint Enforcement Module relies on for feasibility.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "switchsim/recorder.h"
 #include "util/time_series.h"
 
@@ -33,6 +36,20 @@ struct CoarseTelemetry {
 
   std::size_t num_intervals() const {
     return periodic_qlen.empty() ? 0 : periodic_qlen.front().size();
+  }
+};
+
+/// Which coarse reports actually survived collection. Clean pipelines
+/// leave both mask sets empty (= everything valid); the fault-injection
+/// subsystem (src/faults) fills them so downstream constraint consumers
+/// can distinguish "the LANZ report said max = m" from "no report arrived
+/// and the value is a stale carry-forward". Indexed [flat queue][interval].
+struct TelemetryQuality {
+  std::vector<std::vector<std::uint8_t>> periodic_valid;
+  std::vector<std::vector<std::uint8_t>> lanz_valid;
+
+  bool empty() const {
+    return periodic_valid.empty() && lanz_valid.empty();
   }
 };
 

@@ -295,5 +295,136 @@ TEST(Engine, WarmRunServesFromCacheBitIdentically) {
   EXPECT_EQ(table_to_string(plain.run(s)), table_to_string(cold_rows));
 }
 
+TEST(ArtifactStore, StaleTempFilesNeverShadowAPut) {
+  // Regression for the torn-write window: writers used to stage at the
+  // shared name `<artifact>.tmp`, so a crashed writer's half-written file
+  // could be renamed into place by a healthy writer's commit. Staging is
+  // now per-writer unique; a stale .tmp must neither break a put nor leak
+  // into the published payload.
+  const core::ArtifactStore store(fresh_dir("store_staletmp"));
+  const auto probe =
+      store.put("dataset", "cafe01", [](std::ostream& os) { os << "probe"; });
+  ASSERT_TRUE(probe.has_value());
+  const std::string stale = *probe + ".tmp";
+  {
+    std::ofstream out(stale, std::ios::binary);
+    out << "half-writ";
+  }
+
+  const auto path = store.put(
+      "dataset", "cafe01", [](std::ostream& os) { os << "fresh payload"; });
+  ASSERT_TRUE(path.has_value());
+  const auto found = store.find("dataset", "cafe01");
+  ASSERT_TRUE(found.has_value());
+  std::ifstream in(*found, std::ios::binary);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "fresh payload");
+  // The stale file is inert — never renamed over the artifact.
+  EXPECT_TRUE(fs::exists(stale));
+}
+
+TEST(Engine, TruncatedDatasetPayloadDegradesToRecomputation) {
+  core::Scenario s = small_scenario();
+  s.faults.seed = 4;
+  s.faults.lanz_drop = 0.4;
+  s.faults.periodic_drop = 0.4;
+  const std::string dir = fresh_dir("engine_truncated");
+
+  core::Engine cold{core::ArtifactStore(dir)};
+  const core::Campaign campaign = cold.campaign(s.campaign);
+  const core::PreparedData truth = cold.prepare(s, campaign);
+  ASSERT_FALSE(truth.quality.empty());
+
+  // Truncate the cached dataset mid-payload, keeping the (now stale)
+  // digest sidecar: exactly what a torn write would have produced.
+  const auto path = cold.store().find("dataset", core::Engine::dataset_key(s));
+  ASSERT_TRUE(path.has_value());
+  {
+    std::ifstream in(*path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str().substr(0, 40);
+    std::ofstream out(*path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  const auto before = ArtifactCounters::now();
+  core::Engine warm{core::ArtifactStore(dir)};
+  const core::PreparedData recomputed = warm.prepare(s, campaign);
+  const auto d = ArtifactCounters::now().delta(before);
+  EXPECT_EQ(d.corrupt, 1);
+  EXPECT_EQ(d.hit, 0);
+
+  EXPECT_EQ(truth.quality.periodic_valid, recomputed.quality.periodic_valid);
+  EXPECT_EQ(truth.quality.lanz_valid, recomputed.quality.lanz_valid);
+  ASSERT_EQ(truth.split.train.size(), recomputed.split.train.size());
+  for (std::size_t i = 0; i < truth.split.train.size(); ++i) {
+    EXPECT_EQ(truth.split.train[i].features,
+              recomputed.split.train[i].features);
+    EXPECT_EQ(truth.split.train[i].constraints.window_max_valid,
+              recomputed.split.train[i].constraints.window_max_valid);
+  }
+}
+
+TEST(Engine, MaskedDatasetRoundTripsThroughStoreBitIdentically) {
+  core::Scenario s = small_scenario();
+  s.faults.seed = 8;
+  s.faults.periodic_drop = 0.3;
+  s.faults.lanz_drop = 0.3;
+  const std::string dir = fresh_dir("engine_masked");
+
+  core::Engine cold{core::ArtifactStore(dir)};
+  const core::Campaign campaign = cold.campaign(s.campaign);
+  const core::PreparedData written = cold.prepare(s, campaign);
+  ASSERT_FALSE(written.quality.empty());
+
+  const auto before = ArtifactCounters::now();
+  core::Engine warm{core::ArtifactStore(dir)};
+  const core::PreparedData loaded = warm.prepare(s, campaign);
+  EXPECT_EQ(ArtifactCounters::now().delta(before).hit, 1);
+
+  EXPECT_EQ(written.quality.periodic_valid, loaded.quality.periodic_valid);
+  EXPECT_EQ(written.quality.lanz_valid, loaded.quality.lanz_valid);
+  ASSERT_EQ(written.split.test.size(), loaded.split.test.size());
+  for (std::size_t i = 0; i < written.split.test.size(); ++i) {
+    EXPECT_EQ(written.split.test[i].features, loaded.split.test[i].features);
+    EXPECT_EQ(written.split.test[i].target, loaded.split.test[i].target);
+    EXPECT_EQ(written.split.test[i].constraints.sample_idx,
+              loaded.split.test[i].constraints.sample_idx);
+    EXPECT_EQ(written.split.test[i].constraints.window_max_valid,
+              loaded.split.test[i].constraints.window_max_valid);
+  }
+}
+
+TEST(Engine, SeverityZeroFaultsHitTheCleanCache) {
+  // The acceptance bar for the faults subsystem: with every fault at
+  // severity 0 the dataset key, the cached payload, and the evaluation are
+  // byte-identical to a scenario with no faults block at all.
+  const core::Scenario clean = small_scenario();
+  core::Scenario zeroed = small_scenario();
+  zeroed.faults.periodic_drop = 0.9;
+  zeroed.faults.noise = 5.0;
+  zeroed.faults.snmp_wrap_bits = 32;
+  zeroed.faults.severity = 0.0;
+  ASSERT_FALSE(zeroed.faults.enabled());
+  ASSERT_EQ(core::Engine::dataset_key(zeroed),
+            core::Engine::dataset_key(clean));
+
+  const std::string dir = fresh_dir("engine_sev0");
+  core::Engine cold{core::ArtifactStore(dir)};
+  const auto clean_rows = cold.run(clean);
+
+  // The severity-0 run is fully warm: same keys, same payload bytes.
+  const auto before = ArtifactCounters::now();
+  core::Engine warm{core::ArtifactStore(dir)};
+  const auto zeroed_rows = warm.run(zeroed);
+  const auto d = ArtifactCounters::now().delta(before);
+  EXPECT_EQ(d.hit, 3);
+  EXPECT_EQ(d.miss, 0);
+  EXPECT_EQ(d.write, 0);
+  EXPECT_EQ(table_to_string(clean_rows), table_to_string(zeroed_rows));
+}
+
 }  // namespace
 }  // namespace fmnet

@@ -1,0 +1,146 @@
+// Fuzz-style round-trip tests for the .scn scenario parser: arbitrary
+// byte soup and mutated canonical scenarios must either fail with a clean
+// CheckError or parse into a canonical fixpoint (parse -> canonical ->
+// reparse -> same canonical text). Never a crash, never a different
+// exception type — this binary runs under the sanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "core/scenario.h"
+#include "util/check.h"
+
+namespace fmnet {
+namespace {
+
+/// The invariant every input must satisfy: clean rejection or canonical
+/// fixpoint. Returns true if the input parsed.
+bool parse_or_reject(const std::string& text) {
+  core::Scenario s;
+  try {
+    s = core::parse_scenario_string(text);
+  } catch (const CheckError&) {
+    return false;  // clean, typed rejection
+  }
+  // Parsed: canonical form must be a fixpoint of parse -> serialise.
+  const std::string canon = core::canonical_scenario(s);
+  core::Scenario reparsed;
+  EXPECT_NO_THROW(reparsed = core::parse_scenario_string(canon))
+      << "canonical form failed to reparse:\n"
+      << canon;
+  EXPECT_EQ(core::canonical_scenario(reparsed), canon);
+  return true;
+}
+
+TEST(ScenarioFuzz, RandomByteSoupNeverCrashes) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> len_dist(0, 400);
+  // Mostly printable with some structural and control characters mixed in.
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz"
+      "0123456789.-_= \t\n#[]:,+eE\r\x01\x7f";
+  std::uniform_int_distribution<std::size_t> ch_dist(0, alphabet.size() - 1);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text;
+    const int len = len_dist(rng);
+    text.reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) text.push_back(alphabet[ch_dist(rng)]);
+    parse_or_reject(text);
+  }
+}
+
+TEST(ScenarioFuzz, MutatedCanonicalScenariosNeverCrash) {
+  core::Scenario base;
+  base.faults.seed = 7;
+  base.faults.periodic_drop = 0.3;
+  base.faults.lanz_drop = 0.25;
+  base.faults.noise = 4.0;
+  base.faults.snmp_wrap_bits = 32;
+  base.faults.quantize = 4;
+  const std::string seed_text = core::canonical_scenario(base);
+
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::size_t parsed = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text = seed_text;
+    std::uniform_int_distribution<int> muts_dist(1, 8);
+    const int muts = muts_dist(rng);
+    for (int m = 0; m < muts && !text.empty(); ++m) {
+      std::uniform_int_distribution<std::size_t> pos_dist(0, text.size() - 1);
+      const std::size_t pos = pos_dist(rng);
+      switch (op_dist(rng)) {
+        case 0:  // flip one byte
+          text[pos] = static_cast<char>(byte_dist(rng));
+          break;
+        case 1:  // delete one byte
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate a slice
+          text.insert(pos, text.substr(pos, 17));
+          break;
+        default:  // truncate
+          text.resize(pos);
+          break;
+      }
+    }
+    parsed += parse_or_reject(text) ? 1u : 0u;
+  }
+  // Sanity: the mutation engine produces a healthy mix — some inputs stay
+  // parseable, some get rejected. All-one-bucket means the harness rotted.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_LT(parsed, 400u);
+}
+
+TEST(ScenarioFuzz, CanonicalFormsAreFixpoints) {
+  // The clean default, a fully faulted scenario, and a severity-0 config
+  // all survive canonical -> parse -> canonical unchanged.
+  core::Scenario clean;
+  EXPECT_TRUE(parse_or_reject(core::canonical_scenario(clean)));
+
+  core::Scenario faulted;
+  faulted.faults.seed = 123456789;
+  faulted.faults.severity = 0.75;
+  faulted.faults.periodic_drop = 0.1;
+  faulted.faults.lanz_drop = 0.2;
+  faulted.faults.lanz_late = 0.3;
+  faulted.faults.snmp_jitter = 0.4;
+  faulted.faults.snmp_wrap_bits = 16;
+  faulted.faults.duplicate = 0.05;
+  faulted.faults.reorder = 0.06;
+  faulted.faults.noise = 2.5;
+  faulted.faults.quantize = 8;
+  EXPECT_TRUE(parse_or_reject(core::canonical_scenario(faulted)));
+
+  core::Scenario zeroed = faulted;
+  zeroed.faults.severity = 0.0;
+  EXPECT_TRUE(parse_or_reject(core::canonical_scenario(zeroed)));
+}
+
+TEST(ScenarioFuzz, StructuredEdgeCasesRejectCleanly) {
+  // Hand-picked nasties: each must throw CheckError, nothing else.
+  const std::string cases[] = {
+      "campaign.seed = 99999999999999999999999999",  // integer overflow
+      "campaign.ports = -3",
+      "data.factor = 0",
+      "faults.periodic-drop = 1.5",
+      "faults.snmp-wrap-bits = 64",
+      "faults.noise = -2",
+      "faults.severity = nan",
+      "no-such-key = 1",
+      "= value-without-key",
+      "[unterminated",
+      "methods = linear, no-such-method",
+      "faults.quantize = 0.5",
+  };
+  for (const auto& text : cases) {
+    EXPECT_THROW(core::parse_scenario_string(text), CheckError)
+        << "input was not rejected: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace fmnet
