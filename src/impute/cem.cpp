@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "smt/solve_cache.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -158,7 +159,7 @@ ConstraintEnforcementModule::IntervalResult
 ConstraintEnforcementModule::correct_interval_smt(
     const std::vector<double>& imputed, std::int64_t m_max,
     std::int64_t m_out, const std::vector<std::int64_t>& sample_at,
-    std::int64_t factor) const {
+    std::int64_t factor, const std::vector<std::int64_t>* warm_values) const {
   IntervalResult res;
   smt::Model model;
   std::vector<smt::VarId> q;
@@ -202,8 +203,38 @@ ConstraintEnforcementModule::correct_interval_smt(
   }
   model.minimize(objective);
 
-  smt::Solver solver(model, config_.smt_budget);
-  const smt::SolveResult r = solver.minimize();
+  // Warm start: seed the incumbent with a feasible candidate — the exact
+  // fast repair of the caller's warm values (e.g. the previous overlapping
+  // window's solution) or, failing that, of the imputed window itself.
+  smt::WarmStart warm;
+  bool have_warm = false;
+  if (config_.warm_start) {
+    const std::vector<double>* candidate = &imputed;
+    std::vector<double> warm_double;
+    if (warm_values != nullptr &&
+        static_cast<std::int64_t>(warm_values->size()) == factor) {
+      warm_double.assign(warm_values->begin(), warm_values->end());
+      candidate = &warm_double;
+    }
+    const IntervalResult cand =
+        correct_interval_fast(*candidate, m_max, m_out, sample_at, factor);
+    if (cand.feasible) {
+      warm.hints.reserve(static_cast<std::size_t>(factor));
+      for (std::int64_t t = 0; t < factor; ++t) {
+        warm.hints.emplace_back(q[static_cast<std::size_t>(t)],
+                                cand.values[static_cast<std::size_t>(t)]);
+      }
+      have_warm = true;
+    }
+  }
+
+  smt::RepairOptions ro;
+  ro.budget = config_.smt_budget;
+  ro.use_cache = config_.use_repair_cache;
+  ro.portfolio_members = config_.portfolio;
+  ro.portfolio_quantum = config_.portfolio_quantum;
+  const smt::SolveResult r =
+      smt::repair_minimize(model, ro, have_warm ? &warm : nullptr);
   if (!r.has_solution()) {
     res.feasible = false;
     return res;
@@ -290,11 +321,13 @@ PortCemResult ConstraintEnforcementModule::correct_port(
     smt::LinExpr objective;
     std::vector<smt::LinExpr> step_nz(static_cast<std::size_t>(factor));
 
+    std::vector<std::int64_t> m_max_q(nq, 0);
     for (std::size_t q = 0; q < nq; ++q) {
       // C1 (upper bound) is each variable's domain [0, m_max]; intervals
       // with a lost LANZ report get the relaxed effective bound instead.
       const std::int64_t m_max = effective_m_max(
           per_queue[q], w, imputed[q], sample_at[q], begin, factor);
+      m_max_q[q] = m_max;
       for (std::int64_t t = 0; t < factor; ++t) {
         const smt::VarId v = model.new_int(0, m_max);
         qv[q].push_back(v);
@@ -335,13 +368,95 @@ PortCemResult ConstraintEnforcementModule::correct_port(
                        smt::Cmp::kLe, 0);
       ne = ne + smt::LinExpr(any);
     }
-    model.add_linear(ne, smt::Cmp::kLe,
-                     per_queue.front().port_sent[static_cast<std::size_t>(
-                         w)]);
+    const std::int64_t m_out =
+        per_queue.front().port_sent[static_cast<std::size_t>(w)];
+    model.add_linear(ne, smt::Cmp::kLe, m_out);
     model.minimize(objective);
 
-    smt::Solver solver(model, config_.smt_budget);
-    const smt::SolveResult r = solver.minimize();
+    // Warm start: a greedy feasible candidate — per-queue clamp into
+    // [0, m_max], then zero the cheapest optional steps (whole port-steps
+    // with no sampled-positive queue) until the port-level C3 budget
+    // holds. Not necessarily optimal, but feasible, which is all a warm
+    // incumbent needs to be.
+    smt::WarmStart warm;
+    bool have_warm = false;
+    if (config_.warm_start) {
+      std::vector<std::vector<std::int64_t>> cand(
+          nq, std::vector<std::int64_t>(static_cast<std::size_t>(factor)));
+      std::vector<char> forced(static_cast<std::size_t>(factor), 0);
+      for (std::size_t q = 0; q < nq; ++q) {
+        for (std::int64_t t = 0; t < factor; ++t) {
+          const std::int64_t s =
+              sample_at[q][static_cast<std::size_t>(begin + t)];
+          if (s >= 0) {
+            cand[q][static_cast<std::size_t>(t)] = s;
+            if (s > 0) forced[static_cast<std::size_t>(t)] = 1;
+          } else {
+            const std::int64_t ref = std::llround(
+                imputed[q][static_cast<std::size_t>(begin + t)]);
+            cand[q][static_cast<std::size_t>(t)] =
+                std::clamp<std::int64_t>(ref, 0, m_max_q[q]);
+          }
+        }
+      }
+      std::int64_t ne_count = 0;
+      std::int64_t forced_count = 0;
+      // (Δcost of zeroing, t) for optional non-empty steps.
+      std::vector<std::pair<std::int64_t, std::int64_t>> zero_delta;
+      for (std::int64_t t = 0; t < factor; ++t) {
+        bool any = false;
+        std::int64_t delta = 0;
+        for (std::size_t q = 0; q < nq; ++q) {
+          if (cand[q][static_cast<std::size_t>(t)] > 0) {
+            any = true;
+            const std::int64_t ref = std::llround(
+                imputed[q][static_cast<std::size_t>(begin + t)]);
+            delta += iabs(ref) -
+                     iabs(cand[q][static_cast<std::size_t>(t)] - ref);
+          }
+        }
+        if (!any) continue;
+        ++ne_count;
+        if (forced[static_cast<std::size_t>(t)] != 0) {
+          ++forced_count;
+        } else {
+          zero_delta.emplace_back(delta, t);
+        }
+      }
+      if (forced_count <= m_out) {
+        const std::int64_t need_zero =
+            std::max<std::int64_t>(0, ne_count - m_out);
+        std::sort(zero_delta.begin(), zero_delta.end());
+        for (std::int64_t k = 0;
+             k < need_zero &&
+             k < static_cast<std::int64_t>(zero_delta.size());
+             ++k) {
+          const std::int64_t t = zero_delta[static_cast<std::size_t>(k)]
+                                     .second;
+          for (std::size_t q = 0; q < nq; ++q) {
+            if (sample_at[q][static_cast<std::size_t>(begin + t)] < 0) {
+              cand[q][static_cast<std::size_t>(t)] = 0;
+            }
+          }
+        }
+        warm.hints.reserve(nq * static_cast<std::size_t>(factor));
+        for (std::size_t q = 0; q < nq; ++q) {
+          for (std::int64_t t = 0; t < factor; ++t) {
+            warm.hints.emplace_back(qv[q][static_cast<std::size_t>(t)],
+                                    cand[q][static_cast<std::size_t>(t)]);
+          }
+        }
+        have_warm = true;
+      }
+    }
+
+    smt::RepairOptions ro;
+    ro.budget = config_.smt_budget;
+    ro.use_cache = config_.use_repair_cache;
+    ro.portfolio_members = config_.portfolio;
+    ro.portfolio_quantum = config_.portfolio_quantum;
+    const smt::SolveResult r =
+        smt::repair_minimize(model, ro, have_warm ? &warm : nullptr);
     if (!r.has_solution()) {
       clamp_fallback();
       return;
@@ -464,6 +579,80 @@ CemResult ConstraintEnforcementModule::correct(
   }
   out.seconds = clock.elapsed_seconds();
   metrics.packets_moved.add(out.objective);
+  return out;
+}
+
+CemResult ConstraintEnforcementModule::correct_window(
+    const std::vector<double>& imputed, std::int64_t m_max,
+    std::int64_t m_out, const std::vector<std::int64_t>& sample_at,
+    const std::vector<std::int64_t>* warm_values) const {
+  CemMetrics& metrics = CemMetrics::get();
+  const bool timed = obs::enabled();
+  fmnet::Stopwatch clock;
+  const auto factor = static_cast<std::int64_t>(sample_at.size());
+  FMNET_CHECK_GT(factor, 0);
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(imputed.size()), factor);
+  FMNET_CHECK_GE(m_max, 0);
+  FMNET_CHECK_GE(m_out, 0);
+
+  const IntervalResult r =
+      config_.engine == CemEngine::kFastRepair
+          ? correct_interval_fast(imputed, m_max, m_out, sample_at, factor)
+          : correct_interval_smt(imputed, m_max, m_out, sample_at, factor,
+                                 warm_values);
+  CemResult out;
+  out.corrected.resize(static_cast<std::size_t>(factor));
+  metrics.windows.add(1);
+  if (!r.feasible) {
+    out.feasible = false;
+    metrics.infeasible.add(1);
+    for (std::int64_t t = 0; t < factor; ++t) {
+      out.corrected[static_cast<std::size_t>(t)] =
+          std::max(0.0, imputed[static_cast<std::size_t>(t)]);
+    }
+  } else {
+    out.objective = r.objective;
+    for (std::int64_t t = 0; t < factor; ++t) {
+      out.corrected[static_cast<std::size_t>(t)] =
+          static_cast<double>(r.values[static_cast<std::size_t>(t)]);
+    }
+  }
+  out.seconds = clock.elapsed_seconds();
+  metrics.packets_moved.add(out.objective);
+  if (timed) metrics.window_ms.record(clock.elapsed_ms());
+  return out;
+}
+
+CemResult StreamingCemRepair::repair(
+    const std::vector<double>& imputed, std::int64_t m_max,
+    std::int64_t m_out, const std::vector<std::int64_t>& sample_at) {
+  const auto factor = static_cast<std::int64_t>(sample_at.size());
+  // Shift the previous solution by the stride: position t of this window
+  // is position t + stride of the previous one; the fresh tail falls back
+  // to the clamped imputation. Any mismatch (first window, resized window,
+  // degenerate stride) just repairs cold.
+  std::vector<std::int64_t> warm;
+  const bool overlap =
+      static_cast<std::int64_t>(prev_.size()) == factor && stride_ > 0 &&
+      stride_ < factor;
+  if (overlap) {
+    warm.resize(static_cast<std::size_t>(factor));
+    for (std::int64_t t = 0; t < factor; ++t) {
+      const std::int64_t src = t + stride_;
+      warm[static_cast<std::size_t>(t)] =
+          src < factor
+              ? prev_[static_cast<std::size_t>(src)]
+              : std::max<std::int64_t>(
+                    0, std::llround(imputed[static_cast<std::size_t>(t)]));
+    }
+  }
+  const CemResult out = cem_.correct_window(imputed, m_max, m_out, sample_at,
+                                            overlap ? &warm : nullptr);
+  prev_.resize(static_cast<std::size_t>(factor));
+  for (std::int64_t t = 0; t < factor; ++t) {
+    prev_[static_cast<std::size_t>(t)] =
+        std::llround(out.corrected[static_cast<std::size_t>(t)]);
+  }
   return out;
 }
 

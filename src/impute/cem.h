@@ -62,6 +62,22 @@ struct CemConfig {
   CemEngine engine = CemEngine::kFastRepair;
   /// Budget for the SMT engine, per interval.
   smt::Budget smt_budget{.max_decisions = 2'000'000, .max_seconds = 30.0};
+  /// Serving-path accelerators for the SMT engine (no effect on the fast
+  /// engine). All of them preserve the repaired output bit-for-bit: solver
+  /// results are canonically extracted (smt/solver.h) and only definitive
+  /// answers are cached (smt/solve_cache.h).
+  /// Memoise solved windows in the process-wide repair cache, keyed by the
+  /// canonicalised constraint system (recurring violation patterns skip
+  /// the solver).
+  bool use_repair_cache = true;
+  /// Seed each window's branch-and-bound with a feasible repair candidate
+  /// (the fast-repair solution, or the caller's warm values) instead of
+  /// discovering a first incumbent by search.
+  bool warm_start = true;
+  /// Portfolio members racing seed-varied branching orders per window
+  /// (1 = single canonical solver; see smt::minimize_portfolio).
+  int portfolio = 1;
+  std::int64_t portfolio_quantum = 2048;
 };
 
 struct CemResult {
@@ -110,6 +126,18 @@ class ConstraintEnforcementModule {
       const std::vector<CemConstraints>& per_queue,
       util::ThreadPool* pool = nullptr) const;
 
+  /// Repairs a single window of length `sample_at.size()` (== factor).
+  /// `warm_values`, when given, is a repair candidate for the window —
+  /// e.g. the overlapping part of the previous window's solution — used to
+  /// warm-start the SMT engine (it is first made feasible by the fast
+  /// repair, so it never has to be exactly feasible itself). The returned
+  /// repair is identical with or without warm values whenever the solve
+  /// completes. `imputed` must have length factor.
+  CemResult correct_window(
+      const std::vector<double>& imputed, std::int64_t m_max,
+      std::int64_t m_out, const std::vector<std::int64_t>& sample_at,
+      const std::vector<std::int64_t>* warm_values = nullptr) const;
+
  private:
   struct IntervalResult {
     std::vector<std::int64_t> values;
@@ -126,9 +154,39 @@ class ConstraintEnforcementModule {
                                       std::int64_t m_max, std::int64_t m_out,
                                       const std::vector<std::int64_t>&
                                           sample_at,
-                                      std::int64_t factor) const;
+                                      std::int64_t factor,
+                                      const std::vector<std::int64_t>*
+                                          warm_values = nullptr) const;
 
   CemConfig config_;
+};
+
+/// Incremental repair of a sliding window advancing by `stride` steps at a
+/// time (stride < factor ⇒ consecutive windows overlap). Each repair
+/// warm-starts the solver from the previous window's solution shifted by
+/// the stride — the serving-path "incremental solving" mode: overlapping
+/// telemetry rarely changes the optimal repair of the shared suffix, so
+/// the previous solution is usually an immediately-feasible incumbent.
+/// Results are bit-identical to repairing each window cold (see
+/// correct_window).
+class StreamingCemRepair {
+ public:
+  explicit StreamingCemRepair(CemConfig config, std::int64_t stride)
+      : cem_(config), stride_(stride) {}
+
+  /// Repairs the current window (length = sample_at.size()); call with
+  /// consecutive windows advanced by `stride` steps each.
+  CemResult repair(const std::vector<double>& imputed, std::int64_t m_max,
+                   std::int64_t m_out,
+                   const std::vector<std::int64_t>& sample_at);
+
+  /// Forgets the previous window (e.g. at a series boundary).
+  void reset() { prev_.clear(); }
+
+ private:
+  ConstraintEnforcementModule cem_;
+  std::int64_t stride_;
+  std::vector<std::int64_t> prev_;  // previous window's repaired values
 };
 
 }  // namespace fmnet::impute

@@ -1,6 +1,10 @@
 #include "smt/format.h"
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
+
+#include "util/hash.h"
 
 namespace fmnet::smt {
 
@@ -67,6 +71,101 @@ std::string to_smtlib(const Model& model) {
     os << "))\n";
   }
   return os.str();
+}
+
+namespace {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+// Fixed-width little-endian append, independent of host endianness.
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+std::string canonical_terms(
+    const std::vector<std::pair<std::int64_t, std::int32_t>>& terms) {
+  auto sorted = terms;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::string out;
+  put_u64(out, sorted.size());
+  for (const auto& [coef, var] : sorted) {
+    put_i64(out, coef);
+    put_i64(out, var);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string canonical_bytes(const Model& model) {
+  std::string out = "smtlite.canon.v1";
+  const std::size_t n = model.num_vars();
+  put_u64(out, n);
+  for (std::size_t v = 0; v < n; ++v) {
+    put_i64(out, model.lower_bounds()[v]);
+    put_i64(out, model.upper_bounds()[v]);
+  }
+
+  std::vector<std::string> blobs;
+  blobs.reserve(model.linear_constraints().size());
+  for (const LinearConstraint& c : model.linear_constraints()) {
+    std::string b;
+    put_u8(b, static_cast<std::uint8_t>(c.cmp));
+    put_i64(b, c.rhs);
+    put_i64(b, c.guard_var);
+    put_u8(b, c.guard_value ? 1 : 0);
+    b += canonical_terms(c.terms);
+    blobs.push_back(std::move(b));
+  }
+  std::sort(blobs.begin(), blobs.end());
+  put_u64(out, blobs.size());
+  for (const std::string& b : blobs) out += b;
+
+  blobs.clear();
+  for (const auto& clause : model.clauses()) {
+    std::vector<std::pair<std::int32_t, std::uint8_t>> lits;
+    lits.reserve(clause.size());
+    for (const BoolLit& l : clause) {
+      lits.emplace_back(l.var.id, l.positive ? 1 : 0);
+    }
+    std::sort(lits.begin(), lits.end());
+    std::string b;
+    put_u64(b, lits.size());
+    for (const auto& [var, positive] : lits) {
+      put_i64(b, var);
+      put_u8(b, positive);
+    }
+    blobs.push_back(std::move(b));
+  }
+  std::sort(blobs.begin(), blobs.end());
+  put_u64(out, blobs.size());
+  for (const std::string& b : blobs) out += b;
+
+  put_u8(out, model.has_objective() ? 1 : 0);
+  if (model.has_objective()) {
+    put_i64(out, model.objective().constant());
+    std::vector<std::pair<std::int64_t, std::int32_t>> terms;
+    terms.reserve(model.objective().terms().size());
+    for (const auto& [coef, var] : model.objective().terms()) {
+      terms.emplace_back(coef, var.id);
+    }
+    out += canonical_terms(terms);
+  }
+  return out;
+}
+
+std::string repair_key(const Model& model) {
+  return util::stable_key(canonical_bytes(model));
 }
 
 }  // namespace fmnet::smt

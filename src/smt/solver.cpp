@@ -1,42 +1,83 @@
 #include "smt/solver.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 
 #include "obs/metrics.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fmnet::smt {
 
 namespace {
+
+// Exact 128-bit intermediates: every coef·bound product fits in 127 bits,
+// so linear activities are accumulated without the int64 overflow UB the
+// old solver had on wide domains. Results saturate back to int64 only when
+// written as variable bounds, which can only *loosen* a propagated bound —
+// sound, never lossy for feasibility.
+using I128 = __int128;
+
+std::int64_t sat64(I128 v) {
+  constexpr I128 kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr I128 kMin = std::numeric_limits<std::int64_t>::min();
+  if (v > kMax) return std::numeric_limits<std::int64_t>::max();
+  if (v < kMin) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
 // Floor division for possibly-negative operands (C++ '/' truncates).
-std::int64_t floor_div(std::int64_t a, std::int64_t b) {
-  std::int64_t q = a / b;
+I128 floor_div(I128 a, I128 b) {
+  I128 q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return q;
 }
 
+// "Unbounded" rhs for the not-yet-armed objective cap constraints.
+constexpr std::int64_t kCapInfinity =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 // Process-wide solver accounting, aggregated across every solve on every
-// thread (CEM windows run concurrently on the pool).
+// thread (CEM windows run concurrently on the pool). One record per
+// user-visible solve/minimize; inner branch-and-bound searches are reported
+// distinctly as smt.searches so per-solve averages stay honest.
 void record_solve(const SolveResult& r) {
   auto& reg = obs::Registry::global();
   static obs::Counter& solves = reg.counter("smt.solves");
+  static obs::Counter& searches = reg.counter("smt.searches");
   static obs::Counter& decisions = reg.counter("smt.decisions");
   static obs::Counter& propagations = reg.counter("smt.propagations");
   static obs::Counter& conflicts = reg.counter("smt.conflicts");
   static obs::Counter& timeouts = reg.counter("smt.timeouts");
   static obs::Counter& unsat = reg.counter("smt.unsat");
   solves.add(1);
+  searches.add(r.searches);
   decisions.add(r.decisions);
   propagations.add(r.propagations);
   conflicts.add(r.conflicts);
   if (r.status == Status::kUnknown) timeouts.add(1);
   if (r.status == Status::kUnsat) unsat.add(1);
 }
+
 }  // namespace
 
 Solver::Solver(const Model& model, Budget budget)
-    : model_(model), budget_(budget) {
+    : Solver(model, budget, Options{}) {}
+
+Solver::Solver(const Model& model, Budget budget, Options options)
+    : model_(model), budget_(budget), options_(options) {
+  if (options_.branch_seed != 0) {
+    seed_offset_ = splitmix64(options_.branch_seed);
+    seed_upper_first_ = (options_.branch_seed & 1) != 0;
+  }
   lo_ = model.lower_bounds();
   hi_ = model.upper_bounds();
 
@@ -135,6 +176,34 @@ void Solver::undo_to(std::size_t mark) {
   }
 }
 
+void Solver::clear_dirty() {
+  for (const std::size_t idx : dirty_constraints_) {
+    constraint_dirty_flag_[idx] = 0;
+  }
+  dirty_constraints_.clear();
+  for (const std::size_t idx : dirty_clauses_) clause_dirty_flag_[idx] = 0;
+  dirty_clauses_.clear();
+}
+
+void Solver::mark_constraint_dirty(std::size_t idx) {
+  if (!constraint_dirty_flag_[idx]) {
+    constraint_dirty_flag_[idx] = 1;
+    dirty_constraints_.push_back(idx);
+  }
+}
+
+void Solver::mark_all_dirty() {
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    mark_constraint_dirty(i);
+  }
+  for (std::size_t i = 0; i < model_.clauses().size(); ++i) {
+    if (!clause_dirty_flag_[i]) {
+      clause_dirty_flag_[i] = 1;
+      dirty_clauses_.push_back(i);
+    }
+  }
+}
+
 bool Solver::propagate_linear(std::size_t idx) {
   const NormalisedConstraint& c = constraints_[idx];
   // Guard handling.
@@ -151,10 +220,11 @@ bool Solver::propagate_linear(std::size_t idx) {
     }
   }
 
-  // Minimum activity of Σ coef·var.
-  std::int64_t min_act = 0;
+  // Minimum activity of Σ coef·var, exact in 128 bits.
+  I128 min_act = 0;
   for (const auto& [coef, var] : c.terms) {
-    min_act += coef > 0 ? coef * lo_[var] : coef * hi_[var];
+    min_act +=
+        static_cast<I128>(coef) * (coef > 0 ? lo_[var] : hi_[var]);
   }
 
   if (!active) {
@@ -172,16 +242,14 @@ bool Solver::propagate_linear(std::size_t idx) {
 
   // Tighten each variable given the others at their minimum.
   for (const auto& [coef, var] : c.terms) {
-    const std::int64_t contrib_min =
-        coef > 0 ? coef * lo_[var] : coef * hi_[var];
-    const std::int64_t slack = c.rhs - (min_act - contrib_min);
+    const I128 contrib_min =
+        static_cast<I128>(coef) * (coef > 0 ? lo_[var] : hi_[var]);
+    const I128 slack = static_cast<I128>(c.rhs) - (min_act - contrib_min);
     if (coef > 0) {
-      const std::int64_t new_hi = floor_div(slack, coef);
-      if (!set_hi(var, new_hi)) return false;
+      if (!set_hi(var, sat64(floor_div(slack, coef)))) return false;
     } else {
       // coef < 0: coef*x <= slack  =>  x >= ceil(slack / coef)
-      const std::int64_t new_lo = -floor_div(slack, -coef);
-      if (!set_lo(var, new_lo)) return false;
+      if (!set_lo(var, sat64(-floor_div(slack, -coef)))) return false;
     }
   }
   return true;
@@ -234,11 +302,22 @@ bool Solver::propagate() {
 }
 
 std::int32_t Solver::pick_variable() const {
+  const std::size_t n = lo_.size();
+  if (n == 0) return -1;
   std::int32_t best = -1;
   std::uint64_t best_size = 0;
-  for (std::size_t v = 0; v < lo_.size(); ++v) {
+  // First-fail (smallest domain). Canonical order scans from index 0;
+  // non-zero branch seeds rotate the scan start so equal-size ties break
+  // differently per portfolio member. Canonical extraction always uses the
+  // canonical order regardless of seed.
+  const bool canonical = seed_offset_ == 0 || phase_ == Phase::kExtract;
+  const std::size_t start =
+      canonical ? 0 : static_cast<std::size_t>(seed_offset_ % n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = start + k < n ? start + k : start + k - n;
     if (lo_[v] == hi_[v]) continue;
-    const auto size = static_cast<std::uint64_t>(hi_[v] - lo_[v]);
+    const std::uint64_t size = static_cast<std::uint64_t>(hi_[v]) -
+                               static_cast<std::uint64_t>(lo_[v]);
     if (best < 0 || size < best_size) {
       best = static_cast<std::int32_t>(v);
       best_size = size;
@@ -248,153 +327,384 @@ std::int32_t Solver::pick_variable() const {
 }
 
 std::int64_t Solver::eval_objective() const {
-  std::int64_t obj = model_.objective().constant();
+  I128 obj = model_.objective().constant();
   for (const auto& [coef, var] : model_.objective().terms()) {
-    obj += coef * lo_[var.id];
+    obj += static_cast<I128>(coef) * lo_[var.id];
   }
-  return obj;
+  return sat64(obj);
 }
 
-SolveResult Solver::search() {
-  fmnet::Stopwatch clock;
-  SolveResult result;
+void Solver::begin_solve() { begin(/*minimizing=*/false, nullptr); }
 
-  // Root: mark everything dirty and reach the first fixpoint.
-  for (std::size_t i = 0; i < constraints_.size(); ++i) {
-    if (!constraint_dirty_flag_[i]) {
-      constraint_dirty_flag_[i] = 1;
-      dirty_constraints_.push_back(i);
-    }
-  }
-  for (std::size_t i = 0; i < model_.clauses().size(); ++i) {
-    if (!clause_dirty_flag_[i]) {
-      clause_dirty_flag_[i] = 1;
-      dirty_clauses_.push_back(i);
-    }
-  }
-  auto finish = [&](Status st) {
-    result.status = st;
-    result.decisions = decisions_;
-    result.propagations = propagations_;
-    result.conflicts = conflicts_;
-    result.seconds = clock.elapsed_seconds();
-    return result;
-  };
+void Solver::begin_minimize(const WarmStart* warm) {
+  begin(/*minimizing=*/true, warm);
+}
 
-  std::vector<Frame> stack;
-  bool conflict = !propagate();
+void Solver::begin(bool minimizing, const WarmStart* warm) {
+  FMNET_CHECK(phase_ == Phase::kIdle, "Solver instances are single-use");
+  clock_.reset();
+  minimizing_ = minimizing;
+  if (minimizing) {
+    FMNET_CHECK(model_.has_objective(), "minimize() without an objective");
+    // Two pre-wired cap constraints over the objective terms: cap_le_
+    // (obj' <= K) drives branch-and-bound; cap_ge_ (-obj' <= K) stays at
+    // +inf until canonical extraction pins obj' to the proven optimum.
+    auto add_cap = [&](bool negate) {
+      NormalisedConstraint cap;
+      cap.rhs = kCapInfinity;
+      for (const auto& [coef, var] : model_.objective().terms()) {
+        cap.terms.emplace_back(negate ? -coef : coef, var.id);
+      }
+      const std::size_t idx = constraints_.size();
+      constraints_.push_back(std::move(cap));
+      constraint_dirty_flag_.push_back(0);
+      for (const auto& [coef, var] : model_.objective().terms()) {
+        var_to_constraints_[var.id].push_back(idx);
+      }
+      return idx;
+    };
+    cap_le_idx_ = add_cap(false);
+    cap_ge_idx_ = add_cap(true);
+  }
+  phase_ = Phase::kSearch;
+  ++searches_;
+  mark_all_dirty();
+  if (!propagate()) {
+    clear_dirty();
+    undo_to(0);
+    finish(Status::kUnsat);
+    return;
+  }
+  base_mark_ = root_mark_ = trail_.size();
+  conflict_ = false;
+  if (minimizing && warm != nullptr) try_warm(*warm);
+}
+
+void Solver::try_warm(const WarmStart& warm) {
+  auto& reg = obs::Registry::global();
+  static obs::Counter& accepted = reg.counter("smt.warm.accepted");
+  static obs::Counter& rejected = reg.counter("smt.warm.rejected");
+  const std::size_t mark = trail_.size();
+  bool ok = !warm.hints.empty();
+  for (const auto& [var, value] : warm.hints) {
+    if (!ok) break;
+    if (var.id < 0 || static_cast<std::size_t>(var.id) >= lo_.size()) {
+      ok = false;
+      break;
+    }
+    ok = value >= lo_[var.id] && value <= hi_[var.id] &&
+         set_lo(var.id, value) && set_hi(var.id, value);
+  }
+  ok = ok && propagate();
+  // Complete the (possibly partial) hint with a propagation dive: fix each
+  // remaining variable to its lower bound and re-propagate. Reaching an
+  // all-fixed fixpoint without conflict proves feasibility, because every
+  // constraint over a touched variable was re-checked at exact activity and
+  // untouched ones were already consistent at the root fixpoint.
+  while (ok) {
+    std::int32_t var = -1;
+    for (std::size_t v = 0; v < lo_.size(); ++v) {
+      if (lo_[v] != hi_[v]) {
+        var = static_cast<std::int32_t>(v);
+        break;
+      }
+    }
+    if (var < 0) break;
+    ok = set_hi(var, lo_[var]) && propagate();
+  }
+  if (ok) {
+    have_incumbent_ = true;
+    incumbent_.assign(lo_.begin(), lo_.end());
+    incumbent_objective_ = eval_objective();
+    result_.warm_started = true;
+    accepted.add(1);
+  } else {
+    rejected.add(1);
+  }
+  clear_dirty();
+  undo_to(mark);
+  if (have_incumbent_ && !tighten_cap_below_incumbent()) enter_extract();
+}
+
+bool Solver::tighten_cap_below_incumbent() {
+  // Require strictly better than the incumbent from here on. Inferences
+  // propagated from the cap at root level stay valid for the rest of
+  // branch-and-bound (the cap only ever tightens), so they are retained on
+  // the trail below root_mark_ rather than re-derived each restart.
+  const I128 next = static_cast<I128>(incumbent_objective_) -
+                    model_.objective().constant() - 1;
+  constraints_[cap_le_idx_].rhs = sat64(next);
+  mark_constraint_dirty(cap_le_idx_);
+  if (!propagate()) {
+    clear_dirty();
+    return false;
+  }
+  root_mark_ = trail_.size();
+  return true;
+}
+
+void Solver::enter_extract() {
+  // Optimum proven: re-derive the assignment canonically (seed-0 branching
+  // under objective == optimum) so the result is independent of branching
+  // seed, warm start and portfolio scheduling.
+  phase_ = Phase::kExtract;
+  ++searches_;
+  stack_.clear();
+  clear_dirty();
+  undo_to(base_mark_);
+  const I128 b = static_cast<I128>(incumbent_objective_) -
+                 model_.objective().constant();
+  constraints_[cap_le_idx_].rhs = sat64(b);
+  constraints_[cap_ge_idx_].rhs = sat64(-b);
+  mark_constraint_dirty(cap_le_idx_);
+  mark_constraint_dirty(cap_ge_idx_);
+  conflict_ = !propagate();
+  if (conflict_) clear_dirty();
+  // A conflict here is impossible (the incumbent witnesses the optimum);
+  // the defensive fallback lives in on_tree_exhausted().
+}
+
+void Solver::on_all_fixed() {
+  if (phase_ == Phase::kExtract) {
+    result_.assignment.assign(lo_.begin(), lo_.end());
+    result_.objective = incumbent_objective_;
+    undo_to(0);
+    finish(Status::kOptimal);
+    return;
+  }
+  if (!minimizing_) {
+    result_.assignment.assign(lo_.begin(), lo_.end());
+    if (model_.has_objective()) result_.objective = eval_objective();
+    undo_to(0);
+    finish(Status::kSat);
+    return;
+  }
+  // Improving solution: record it, then restart from the retained root
+  // fixpoint with a tighter cap (incremental branch-and-bound).
+  have_incumbent_ = true;
+  incumbent_.assign(lo_.begin(), lo_.end());
+  incumbent_objective_ = eval_objective();
+  stack_.clear();
+  undo_to(root_mark_);
+  if (tighten_cap_below_incumbent()) {
+    ++searches_;
+  } else {
+    enter_extract();
+  }
+}
+
+void Solver::on_tree_exhausted() {
+  if (phase_ == Phase::kExtract) {
+    // Unreachable in theory (the incumbent witnesses objective == optimum);
+    // fall back to the incumbent defensively.
+    result_.assignment = incumbent_;
+    result_.objective = incumbent_objective_;
+    undo_to(0);
+    finish(Status::kOptimal);
+    return;
+  }
+  if (minimizing_ && have_incumbent_) {
+    enter_extract();  // nothing beats the incumbent: optimum proven
+    return;
+  }
+  undo_to(0);
+  finish(Status::kUnsat);
+}
+
+void Solver::finish(Status status) {
+  result_.status = status;
+  result_.decisions = decisions_;
+  result_.propagations = propagations_;
+  result_.conflicts = conflicts_;
+  result_.searches = searches_;
+  result_.seconds = clock_.elapsed_seconds();
+  phase_ = Phase::kDone;
+}
+
+void Solver::finish_budget_exhausted() {
+  clear_dirty();
+  undo_to(0);
+  if (minimizing_ && have_incumbent_) {
+    // Feasible but not certified within budget. Even when the proof had
+    // completed, an unfinished canonical extraction reports kSat so that
+    // kOptimal always implies a seed-independent assignment.
+    result_.assignment = incumbent_;
+    result_.objective = incumbent_objective_;
+    finish(Status::kSat);
+    return;
+  }
+  finish(Status::kUnknown);
+}
+
+bool Solver::step(std::int64_t decision_quantum) {
+  if (phase_ == Phase::kDone) return true;
+  FMNET_CHECK(phase_ == Phase::kSearch || phase_ == Phase::kExtract,
+              "step() before begin_solve()/begin_minimize()");
+  const std::int64_t headroom =
+      std::numeric_limits<std::int64_t>::max() - decisions_;
+  const std::int64_t stop_at =
+      decision_quantum < headroom
+          ? decisions_ + decision_quantum
+          : std::numeric_limits<std::int64_t>::max();
 
   while (true) {
     if (decisions_ > budget_.max_decisions ||
-        clock.elapsed_seconds() > budget_.max_seconds) {
-      // Budget exhausted mid-search.
-      dirty_constraints_.clear();
-      dirty_clauses_.clear();
-      std::fill(constraint_dirty_flag_.begin(),
-                constraint_dirty_flag_.end(), 0);
-      std::fill(clause_dirty_flag_.begin(), clause_dirty_flag_.end(), 0);
-      undo_to(0);
-      return finish(Status::kUnknown);
+        clock_.elapsed_seconds() > budget_.max_seconds) {
+      finish_budget_exhausted();
+      return true;
     }
+    if (decisions_ >= stop_at && !conflict_) return false;  // quantum spent
 
-    if (conflict) {
+    if (conflict_) {
       ++conflicts_;
-      dirty_constraints_.clear();
-      dirty_clauses_.clear();
-      std::fill(constraint_dirty_flag_.begin(),
-                constraint_dirty_flag_.end(), 0);
-      std::fill(clause_dirty_flag_.begin(), clause_dirty_flag_.end(), 0);
+      clear_dirty();
       // Backtrack to the deepest frame with an untried alternative.
-      while (!stack.empty() && stack.back().tried_alternative) {
-        undo_to(stack.back().trail_mark);
-        stack.pop_back();
+      while (!stack_.empty() && stack_.back().tried_alternative) {
+        undo_to(stack_.back().trail_mark);
+        stack_.pop_back();
       }
-      if (stack.empty()) return finish(Status::kUnsat);
-      Frame& f = stack.back();
+      if (stack_.empty()) {
+        conflict_ = false;
+        on_tree_exhausted();
+        if (phase_ == Phase::kDone) return true;
+        continue;
+      }
+      Frame& f = stack_.back();
       undo_to(f.trail_mark);
       f.tried_alternative = true;
       ++decisions_;
-      conflict = !set_lo(f.var, f.split + 1) || !propagate();
+      const bool ok = f.upper_first ? set_hi(f.var, f.split)
+                                    : set_lo(f.var, f.split + 1);
+      conflict_ = !ok || !propagate();
       continue;
     }
 
     const std::int32_t var = pick_variable();
     if (var < 0) {
-      // All variables fixed: feasible assignment.
-      result.assignment.assign(lo_.begin(), lo_.end());
-      if (model_.has_objective()) result.objective = eval_objective();
-      undo_to(0);
-      return finish(Status::kSat);
+      on_all_fixed();
+      if (phase_ == Phase::kDone) return true;
+      continue;
     }
 
-    // Decision: split the domain, lower half first.
+    // Decision: split the domain. Canonical order takes the lower half
+    // first; odd branch seeds take the upper half first (extraction is
+    // always canonical).
+    const std::uint64_t width = static_cast<std::uint64_t>(hi_[var]) -
+                                static_cast<std::uint64_t>(lo_[var]);
     const std::int64_t split =
-        lo_[var] + (hi_[var] - lo_[var]) / 2;
-    stack.push_back({trail_.size(), var, split, false});
+        lo_[var] + static_cast<std::int64_t>(width / 2);
+    const bool upper_first =
+        phase_ == Phase::kExtract ? false : seed_upper_first_;
+    stack_.push_back({trail_.size(), var, split, false, upper_first});
     ++decisions_;
-    conflict = !set_hi(var, split) || !propagate();
+    const bool ok =
+        upper_first ? set_lo(var, split + 1) : set_hi(var, split);
+    conflict_ = !ok || !propagate();
   }
 }
 
+namespace {
+constexpr std::int64_t kOneShotQuantum = 1 << 20;
+}  // namespace
+
 SolveResult Solver::solve() {
-  SolveResult r = search();
-  record_solve(r);
-  return r;
+  begin_solve();
+  while (!step(kOneShotQuantum)) {
+  }
+  record_solve(result_);
+  return result_;
 }
 
 SolveResult Solver::minimize() {
-  FMNET_CHECK(model_.has_objective(), "minimize() without an objective");
-  fmnet::Stopwatch clock;
-
-  // Branch & bound: repeatedly solve with a tightening objective cap,
-  // implemented as an extra normalised constraint whose rhs we update.
-  NormalisedConstraint cap;
-  cap.rhs = std::numeric_limits<std::int64_t>::max() / 4;
-  for (const auto& [coef, var] : model_.objective().terms()) {
-    cap.terms.emplace_back(coef, var.id);
+  begin_minimize(nullptr);
+  while (!step(kOneShotQuantum)) {
   }
-  const std::size_t cap_idx = constraints_.size();
-  constraints_.push_back(cap);
-  constraint_dirty_flag_.push_back(0);
-  for (const auto& [coef, var] : model_.objective().terms()) {
-    var_to_constraints_[var.id].push_back(cap_idx);
+  record_solve(result_);
+  return result_;
+}
+
+SolveResult Solver::minimize(const WarmStart& warm) {
+  begin_minimize(&warm);
+  while (!step(kOneShotQuantum)) {
+  }
+  record_solve(result_);
+  return result_;
+}
+
+SolveResult minimize_portfolio(const Model& model, Budget budget,
+                               const PortfolioOptions& options,
+                               const WarmStart* warm) {
+  const int members = std::max(1, options.members);
+  if (members == 1) {
+    Solver s(model, budget);
+    return warm != nullptr ? s.minimize(*warm) : s.minimize();
+  }
+  const std::int64_t quantum = std::max<std::int64_t>(1, options.quantum);
+  std::vector<std::unique_ptr<Solver>> solvers;
+  solvers.reserve(static_cast<std::size_t>(members));
+  for (int m = 0; m < members; ++m) {
+    Solver::Options so;
+    so.branch_seed = static_cast<std::uint64_t>(m);
+    solvers.push_back(std::make_unique<Solver>(model, budget, so));
+    solvers.back()->begin_minimize(warm);
   }
 
-  SolveResult best;
-  best.status = Status::kUnknown;
-  while (true) {
-    const double remaining = budget_.max_seconds - clock.elapsed_seconds();
-    if (remaining <= 0.0 || decisions_ > budget_.max_decisions) break;
-
-    SolveResult r = search();
-    if (r.status == Status::kSat) {
-      best.assignment = std::move(r.assignment);
-      best.objective = r.objective;  // includes the objective constant
-      best.status = Status::kSat;
-      // Require strictly better next time.
-      constraints_[cap_idx].rhs =
-          best.objective - model_.objective().constant() - 1;
-    } else if (r.status == Status::kUnsat) {
-      // No solution under the current cap: either the incumbent is optimal
-      // or the model was infeasible to begin with.
-      best.status =
-          best.status == Status::kSat ? Status::kOptimal : Status::kUnsat;
-      best.decisions = decisions_;
-      best.propagations = propagations_;
-      best.conflicts = conflicts_;
-      best.seconds = clock.elapsed_seconds();
-      record_solve(best);
-      return best;
-    } else {
-      break;  // budget inside search
+  // Deterministic lock-step race: every live member advances by the same
+  // decision quantum per round; the winner is the lowest-index member
+  // definitive in the earliest round. Members are stepped concurrently on
+  // the pool (inline when nested inside another parallel region), but the
+  // round structure — and therefore the winner — is thread-count
+  // independent.
+  util::ThreadPool& pool = util::ThreadPool::resolve(options.pool);
+  std::vector<char> done(static_cast<std::size_t>(members), 0);
+  int winner = -1;
+  while (winner < 0) {
+    pool.parallel_for(0, members, [&](std::int64_t m) {
+      const auto idx = static_cast<std::size_t>(m);
+      if (!done[idx]) done[idx] = solvers[idx]->step(quantum) ? 1 : 0;
+    });
+    bool all_done = true;
+    for (int m = 0; m < members; ++m) {
+      const auto idx = static_cast<std::size_t>(m);
+      if (done[idx] && solvers[idx]->definitive()) {
+        winner = m;
+        break;
+      }
+      all_done = all_done && done[idx] != 0;
     }
+    if (all_done) break;
   }
-  best.decisions = decisions_;
-  best.propagations = propagations_;
-  best.conflicts = conflicts_;
-  best.seconds = clock.elapsed_seconds();
-  record_solve(best);
-  return best;  // kSat (feasible, not proven optimal) or kUnknown
+
+  SolveResult out;
+  if (winner >= 0) {
+    out = solvers[static_cast<std::size_t>(winner)]->result();
+  } else {
+    // Every member exhausted its budget: prefer the best incumbent
+    // (smallest objective, then lowest member index).
+    std::size_t pick = 0;
+    for (std::size_t m = 1; m < solvers.size(); ++m) {
+      const SolveResult& a = solvers[pick]->result();
+      const SolveResult& b = solvers[m]->result();
+      if (b.has_solution() &&
+          (!a.has_solution() || b.objective < a.objective)) {
+        pick = m;
+      }
+    }
+    out = solvers[pick]->result();
+  }
+
+  // Charge the work of every lane, not just the winner's.
+  out.decisions = out.propagations = out.conflicts = out.searches = 0;
+  out.warm_started = false;
+  for (const auto& s : solvers) {
+    out.decisions += s->decisions();
+    out.propagations += s->propagations();
+    out.conflicts += s->conflicts();
+    out.searches += s->searches();
+    out.warm_started = out.warm_started || s->warm_started();
+  }
+  record_solve(out);
+  return out;
 }
 
 }  // namespace fmnet::smt

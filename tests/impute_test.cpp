@@ -12,6 +12,7 @@
 #include "impute/linear_interp.h"
 #include "impute/transformer_imputer.h"
 #include "nn/kal.h"
+#include "smt/solve_cache.h"
 #include "telemetry/dataset.h"
 #include "telemetry/monitors.h"
 #include "test_helpers.h"
@@ -328,6 +329,129 @@ INSTANTIATE_TEST_SUITE_P(RandomWindows, CemCrossCheck,
                            name += std::to_string(pinfo.param.seed);
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Serving-path accelerators: warm start, repair cache, portfolio. All of
+// them must preserve the repaired output bit-for-bit.
+// ---------------------------------------------------------------------------
+
+TEST(CemAccel, AcceleratedConfigMatchesColdExactly) {
+  smt::SolveCache::global().clear();
+  CemConfig cold_cfg;
+  cold_cfg.engine = CemEngine::kSmtBranchAndBound;
+  cold_cfg.use_repair_cache = false;
+  cold_cfg.warm_start = false;
+  CemConfig accel_cfg;
+  accel_cfg.engine = CemEngine::kSmtBranchAndBound;
+  accel_cfg.use_repair_cache = true;
+  accel_cfg.warm_start = true;
+  accel_cfg.portfolio = 2;
+  const ConstraintEnforcementModule cold(cold_cfg);
+  const ConstraintEnforcementModule accel(accel_cfg);
+
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    fmnet::Rng rng(seed * 31);
+    const std::int64_t factor = 4 + static_cast<std::int64_t>(seed % 4);
+    CemConstraints c;
+    c.coarse_factor = factor;
+    c.window_max = {rng.uniform_int(0, 6), rng.uniform_int(0, 6)};
+    c.port_sent = {rng.uniform_int(0, factor), rng.uniform_int(0, factor)};
+    std::vector<double> imputed;
+    for (std::int64_t t = 0; t < 2 * factor; ++t) {
+      imputed.push_back(static_cast<double>(rng.uniform_int(-1, 8)));
+    }
+    if (rng.bernoulli(0.6)) {
+      c.sample_idx = {rng.uniform_int(0, factor - 1)};
+      c.sample_val = {rng.uniform_int(0, c.window_max[0])};
+    }
+    const auto rc = cold.correct(imputed, c);
+    const auto ra = accel.correct(imputed, c);
+    ASSERT_EQ(rc.feasible, ra.feasible) << "seed " << seed;
+    EXPECT_EQ(rc.objective, ra.objective) << "seed " << seed;
+    EXPECT_EQ(rc.corrected, ra.corrected) << "seed " << seed;
+    // Second accelerated run hits the repair cache; still identical.
+    const auto rcached = accel.correct(imputed, c);
+    EXPECT_EQ(rcached.corrected, ra.corrected) << "seed " << seed;
+    EXPECT_EQ(rcached.objective, ra.objective) << "seed " << seed;
+  }
+  smt::SolveCache::global().clear();
+}
+
+TEST(CemAccel, StreamingRepairMatchesBatchCold) {
+  // A sliding window advancing by factor/2 must produce, window by window,
+  // exactly the repair a cold per-window solve produces — the warm start
+  // from the previous window's solution is invisible in the output.
+  CemConfig cold_cfg;
+  cold_cfg.engine = CemEngine::kSmtBranchAndBound;
+  cold_cfg.use_repair_cache = false;
+  cold_cfg.warm_start = false;
+  CemConfig warm_cfg = cold_cfg;
+  warm_cfg.warm_start = true;
+  const ConstraintEnforcementModule cold(cold_cfg);
+
+  const std::int64_t factor = 6;
+  const std::int64_t stride = factor / 2;
+  StreamingCemRepair streaming(warm_cfg, stride);
+  fmnet::Rng rng(4242);
+  std::vector<double> series;
+  for (std::int64_t t = 0; t < 10 * factor; ++t) {
+    series.push_back(static_cast<double>(rng.uniform_int(-1, 9)));
+  }
+  for (std::int64_t begin = 0;
+       begin + factor <= static_cast<std::int64_t>(series.size());
+       begin += stride) {
+    std::vector<double> window(series.begin() + begin,
+                               series.begin() + begin + factor);
+    std::vector<std::int64_t> sample_at(static_cast<std::size_t>(factor),
+                                        -1);
+    if (begin % (3 * stride) == 0) {
+      sample_at[2] = rng.uniform_int(0, 4);
+    }
+    const std::int64_t m_max = 5;
+    const std::int64_t m_out = 4;
+    const auto rs = streaming.repair(window, m_max, m_out, sample_at);
+    const auto rc = cold.correct_window(window, m_max, m_out, sample_at);
+    ASSERT_EQ(rs.feasible, rc.feasible) << "begin " << begin;
+    EXPECT_EQ(rs.objective, rc.objective) << "begin " << begin;
+    EXPECT_EQ(rs.corrected, rc.corrected) << "begin " << begin;
+  }
+}
+
+TEST(CemAccel, PortJointWarmMatchesPlain) {
+  smt::SolveCache::global().clear();
+  CemConfig plain_cfg;
+  plain_cfg.engine = CemEngine::kSmtBranchAndBound;
+  plain_cfg.use_repair_cache = false;
+  plain_cfg.warm_start = false;
+  CemConfig accel_cfg;
+  accel_cfg.engine = CemEngine::kSmtBranchAndBound;
+  accel_cfg.use_repair_cache = true;
+  accel_cfg.warm_start = true;
+  const ConstraintEnforcementModule plain(plain_cfg);
+  const ConstraintEnforcementModule accel(accel_cfg);
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    fmnet::Rng rng(seed * 17 + 3);
+    const std::int64_t factor = 4;
+    const std::size_t nq = 2;
+    std::vector<std::vector<double>> imputed(nq);
+    std::vector<CemConstraints> per_queue(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+      per_queue[q].coarse_factor = factor;
+      per_queue[q].window_max = {rng.uniform_int(1, 5)};
+      per_queue[q].port_sent = {rng.uniform_int(1, factor)};
+      for (std::int64_t t = 0; t < factor; ++t) {
+        imputed[q].push_back(static_cast<double>(rng.uniform_int(-1, 6)));
+      }
+    }
+    const auto rp = plain.correct_port(imputed, per_queue);
+    const auto ra = accel.correct_port(imputed, per_queue);
+    ASSERT_EQ(rp.feasible, ra.feasible) << "seed " << seed;
+    EXPECT_EQ(rp.objective, ra.objective) << "seed " << seed;
+    EXPECT_EQ(rp.corrected, ra.corrected) << "seed " << seed;
+  }
+  smt::SolveCache::global().clear();
+}
 
 TEST(CemPort, JointCorrectionEnforcesDisjunctionC3) {
   // Each queue alone satisfies NE <= 2, but the port-level disjunction has

@@ -5,12 +5,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
+#include "obs/metrics.h"
 #include "smt/format.h"
 #include "smt/model.h"
+#include "smt/solve_cache.h"
 #include "smt/solver.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace fmnet::smt {
 namespace {
@@ -488,6 +493,411 @@ TEST_P(RandomCrossCheck, MatchesBruteForce) {
       EXPECT_TRUE(ok) << "seed " << param.seed;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests for the solver bugfixes: 64-bit overflow in propagation,
+// minimize() wall-clock budget, and the solve/search counter schema.
+// ---------------------------------------------------------------------------
+
+TEST(SolverOverflowTest, WideDomainLinearPropagationIsExact) {
+  // The minimum activity of -8x - 8y with x,y in [0, 2^60] is -2^64,
+  // far outside int64: the solver must accumulate activities in 128 bits
+  // and only saturate when writing variable bounds. A naive 64-bit
+  // accumulation wraps and mis-propagates. x is kept on a small domain so
+  // the cap/constraint interplay converges quickly; the optimum is
+  // exactly 2^60 - 1.
+  constexpr std::int64_t kHuge = std::int64_t{1} << 60;
+  Model m;
+  const VarId x = m.new_int(0, 5, "x");
+  const VarId y = m.new_int(0, kHuge, "y");
+  m.add_linear(LinExpr(x) * 8 + LinExpr(y) * 8, Cmp::kGe,
+               std::numeric_limits<std::int64_t>::max() - 7);  // 2^63 - 8
+  m.minimize(LinExpr(x) + LinExpr(y));
+  Solver s(m);
+  const auto r = s.minimize();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, kHuge - 1);
+  const auto activity = static_cast<__int128>(r.value(x)) * 8 +
+                        static_cast<__int128>(r.value(y)) * 8;
+  EXPECT_TRUE(activity >= static_cast<__int128>(
+                              std::numeric_limits<std::int64_t>::max() - 7));
+}
+
+TEST(SolverOverflowTest, NearLimitUpperBoundStillSat) {
+  // Maximum activity of 2x + 2y with x,y in [0, INT64_MAX/2] is
+  // ~2^63.9 — slack arithmetic must not wrap. Propagation alone pins
+  // x = kBig - 1 (from the lower bound) and y = 0 (from the cap).
+  constexpr std::int64_t kBig = std::numeric_limits<std::int64_t>::max() / 2;
+  Model m;
+  const VarId x = m.new_int(0, kBig, "x");
+  const VarId y = m.new_int(0, kBig, "y");
+  m.add_linear(LinExpr(x) * 2 + LinExpr(y) * 2, Cmp::kLe,
+               std::numeric_limits<std::int64_t>::max() - 2);
+  m.add_linear(LinExpr(x), Cmp::kGe, kBig - 1);
+  Solver s(m);
+  const auto r = s.solve();
+  ASSERT_EQ(r.status, Status::kSat);
+  EXPECT_EQ(r.value(x), kBig - 1);
+  EXPECT_EQ(r.value(y), 0);
+}
+
+TEST(SolverOverflowTest, NegatedHugeCoefficientsUnsatDetected) {
+  // -7x <= -(2^62) forces x >= 2^62/7; combined with a small upper bound
+  // the system is UNSAT. The old 64-bit floor-division path overflowed on
+  // the intermediate product.
+  constexpr std::int64_t kHuge = std::int64_t{1} << 62;
+  Model m;
+  const VarId x = m.new_int(0, 1'000'000, "x");
+  m.add_linear(LinExpr(x) * -7, Cmp::kLe, -kHuge);
+  Solver s(m);
+  EXPECT_EQ(s.solve().status, Status::kUnsat);
+}
+
+namespace {
+// P pigeons into P-1 holes with a per-pigeon "unplaced" escape variable;
+// minimising unplaced pigeons has optimum 1 but proving it (the cap-0
+// search) is a full pigeonhole refutation — exponentially hard for a
+// chronological-backtracking solver, ideal for budget tests.
+Model escape_pigeonhole(int pigeons) {
+  Model m;
+  const int holes = pigeons - 1;
+  std::vector<std::vector<VarId>> in(static_cast<std::size_t>(pigeons));
+  LinExpr unplaced;
+  for (int p = 0; p < pigeons; ++p) {
+    const VarId u = m.new_bool();
+    LinExpr placed(u);
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<std::size_t>(p)].push_back(m.new_bool());
+      placed = placed + LinExpr(in[static_cast<std::size_t>(p)].back());
+    }
+    m.add_linear(placed, Cmp::kGe, 1);
+    unplaced = unplaced + LinExpr(u);
+  }
+  for (int h = 0; h < holes; ++h) {
+    LinExpr col;
+    for (int p = 0; p < pigeons; ++p) {
+      col = col + LinExpr(in[static_cast<std::size_t>(p)]
+                            [static_cast<std::size_t>(h)]);
+    }
+    m.add_linear(col, Cmp::kLe, 1);
+  }
+  m.minimize(unplaced);
+  return m;
+}
+}  // namespace
+
+TEST(SolverBudgetTest, MinimizeHonoursWallClockAcrossSearches) {
+  // max_seconds bounds the WHOLE minimize — incumbent searches, every
+  // improvement search and the optimality proof share one clock. The old
+  // solver re-armed a fresh stopwatch per inner search, so a minimize
+  // could run a multiple of its budget.
+  const Model m = escape_pigeonhole(14);
+  Budget b;
+  b.max_decisions = std::numeric_limits<std::int64_t>::max() / 4;
+  b.max_seconds = 0.3;
+  Solver s(m, b);
+  fmnet::Stopwatch clock;
+  const auto r = s.minimize();
+  const double elapsed = clock.elapsed_seconds();
+  EXPECT_LT(elapsed, 1.2) << "budget 0.3s overran to " << elapsed << "s";
+  // The easy incumbent (all pigeons unplaced, then improvements) is found
+  // well inside the budget; the cap-0 proof is what exhausts it.
+  ASSERT_EQ(r.status, Status::kSat);
+  EXPECT_TRUE(r.has_solution());
+  EXPECT_GE(r.objective, 1);
+}
+
+TEST(SolverCounterTest, OneMinimizeIsOneSolveManySearches) {
+  auto& reg = obs::Registry::global();
+  const std::int64_t solves0 = reg.counter("smt.solves").value();
+  const std::int64_t searches0 = reg.counter("smt.searches").value();
+
+  Model m;
+  const VarId x = m.new_int(0, 50, "x");
+  const VarId y = m.new_int(0, 50, "y");
+  m.add_linear(LinExpr(x) + LinExpr(y), Cmp::kGe, 20);
+  m.minimize(LinExpr(x) + LinExpr(y) * 2);
+  Solver s(m);
+  const auto r = s.minimize();
+  ASSERT_EQ(r.status, Status::kOptimal);
+
+  // One user-level minimize = exactly one smt.solves, regardless of how
+  // many inner branch-and-bound searches it ran; those are smt.searches.
+  EXPECT_EQ(reg.counter("smt.solves").value() - solves0, 1);
+  EXPECT_EQ(reg.counter("smt.searches").value() - searches0, r.searches);
+  EXPECT_GE(r.searches, 2);  // incumbent search + at least the extraction
+
+  const std::int64_t solves1 = reg.counter("smt.solves").value();
+  const std::int64_t searches1 = reg.counter("smt.searches").value();
+  Solver s2(m);
+  const auto r2 = s2.solve();
+  ASSERT_EQ(r2.status, Status::kSat);
+  EXPECT_EQ(reg.counter("smt.solves").value() - solves1, 1);
+  EXPECT_EQ(reg.counter("smt.searches").value() - searches1, 1);
+  EXPECT_EQ(r2.searches, 1);
+}
+
+TEST(SolverGuardTest, GuardBackPropagatesToFalseWhenBodyImpossible) {
+  // b -> x >= 5 while x is pinned to 2: the guard literal must be forced
+  // to its opposite polarity by propagation alone (zero decisions).
+  Model m;
+  const VarId x = m.new_int(0, 3, "x");
+  const VarId b = m.new_bool("b");
+  m.add_linear(LinExpr(x), Cmp::kEq, 2);
+  m.add_implies(pos(b), LinExpr(x), Cmp::kGe, 5);
+  Solver s(m);
+  const auto r = s.solve();
+  ASSERT_EQ(r.status, Status::kSat);
+  EXPECT_EQ(r.value(b), 0);
+  EXPECT_EQ(r.value(x), 2);
+  EXPECT_EQ(r.decisions, 0);
+}
+
+TEST(SolverGuardTest, NegativeGuardBackPropagatesToTrue) {
+  // ¬b -> x >= 5 while x is pinned to 2 forces b = 1, again by pure
+  // propagation.
+  Model m;
+  const VarId x = m.new_int(0, 3, "x");
+  const VarId b = m.new_bool("b");
+  m.add_linear(LinExpr(x), Cmp::kEq, 2);
+  m.add_implies(neg(b), LinExpr(x), Cmp::kGe, 5);
+  Solver s(m);
+  const auto r = s.solve();
+  ASSERT_EQ(r.status, Status::kSat);
+  EXPECT_EQ(r.value(b), 1);
+  EXPECT_EQ(r.decisions, 0);
+}
+
+TEST(SolverGuardTest, FixedOppositeGuardLeavesBodyInactive) {
+  // b fixed to 0 keeps "b -> x >= 5" inactive: x keeps its full domain.
+  Model m;
+  const VarId x = m.new_int(0, 3, "x");
+  const VarId b = m.new_bool("b");
+  m.add_clause({neg(b)});
+  m.add_implies(pos(b), LinExpr(x), Cmp::kGe, 5);
+  m.add_linear(LinExpr(x), Cmp::kGe, 2);
+  Solver s(m);
+  const auto r = s.solve();
+  ASSERT_EQ(r.status, Status::kSat);
+  EXPECT_EQ(r.value(b), 0);
+  EXPECT_GE(r.value(x), 2);
+}
+
+TEST(SolverSplitTest, EqConstraintUnderMinimizeSplitsToOptimum) {
+  // 3x + 5y = 2014 admits no propagation-only fixpoint — the solver must
+  // bisect domains under branch-and-bound. Optimum of x + y is 404 at
+  // (3, 401): x ≡ 3 (mod 5) and larger x trades 5y for 3x at a loss.
+  Model m;
+  const VarId x = m.new_int(0, 1000, "x");
+  const VarId y = m.new_int(0, 1000, "y");
+  m.add_linear(LinExpr(x) * 3 + LinExpr(y) * 5, Cmp::kEq, 2014);
+  m.minimize(LinExpr(x) + LinExpr(y));
+  Solver s(m);
+  const auto r = s.minimize();
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_EQ(r.objective, 404);
+  EXPECT_EQ(r.value(x), 3);
+  EXPECT_EQ(r.value(y), 401);
+}
+
+TEST(SolverStatusTest, BudgetLimitedMinimizeIsSatNotOptimal) {
+  // With a decision budget big enough to find an incumbent but not to
+  // finish the optimality proof, minimize must report kSat (feasible,
+  // unproven) — kOptimal is reserved for proven optima.
+  const Model m = escape_pigeonhole(12);
+  Budget limited;
+  limited.max_decisions = 400;
+  Solver s(m, limited);
+  const auto r = s.minimize();
+  ASSERT_EQ(r.status, Status::kSat);
+  EXPECT_TRUE(r.has_solution());
+  EXPECT_GE(r.objective, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts, portfolio determinism, the repair cache and canonical keys.
+// ---------------------------------------------------------------------------
+
+namespace {
+Model small_repair_model() {
+  // A CEM-shaped miniature: values with per-step targets, an upper bound
+  // and a nonzero-count cap; minimise total deviation.
+  Model m;
+  const std::vector<std::int64_t> target{3, 0, 5, 2, 0, 4};
+  LinExpr dev;
+  LinExpr nonzero;
+  for (std::size_t t = 0; t < target.size(); ++t) {
+    const VarId q = m.new_int(0, 6);
+    dev = dev + LinExpr(m.add_abs(LinExpr(q) - LinExpr(target[t]), 12));
+    const VarId ne = m.new_bool();
+    m.add_reified(ne, LinExpr(q), Cmp::kGe, 1);
+    nonzero = nonzero + LinExpr(ne);
+  }
+  m.add_linear(nonzero, Cmp::kLe, 2);
+  m.minimize(dev);
+  return m;
+}
+}  // namespace
+
+TEST(SolverWarmStartTest, WarmAndColdProduceIdenticalResults) {
+  const Model m = small_repair_model();
+  Solver cold(m);
+  const auto rc = cold.minimize();
+  ASSERT_EQ(rc.status, Status::kOptimal);
+
+  // Warm-start from the cold solution: same status, objective and
+  // assignment, with the flag set and no extra incumbent search.
+  WarmStart warm;
+  for (std::size_t v = 0; v < rc.assignment.size(); ++v) {
+    warm.hints.emplace_back(VarId{static_cast<std::int32_t>(v)},
+                            rc.assignment[v]);
+  }
+  Solver w(m);
+  const auto rw = w.minimize(warm);
+  ASSERT_EQ(rw.status, Status::kOptimal);
+  EXPECT_TRUE(rw.warm_started);
+  EXPECT_EQ(rw.objective, rc.objective);
+  EXPECT_EQ(rw.assignment, rc.assignment);
+  EXPECT_LE(rw.decisions, rc.decisions);
+}
+
+TEST(SolverWarmStartTest, InfeasibleHintsAreDiscarded) {
+  Model m;
+  const VarId x = m.new_int(0, 10, "x");
+  const VarId y = m.new_int(0, 10, "y");
+  m.add_linear(LinExpr(x) + LinExpr(y), Cmp::kEq, 7);
+  m.minimize(LinExpr(x));
+  WarmStart bogus;
+  bogus.hints.emplace_back(x, 9);
+  bogus.hints.emplace_back(y, 9);  // 18 != 7 — not a feasible candidate
+  Solver s(m);
+  const auto r = s.minimize(bogus);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_FALSE(r.warm_started);
+  EXPECT_EQ(r.objective, 0);
+  EXPECT_EQ(r.value(x), 0);
+  EXPECT_EQ(r.value(y), 7);
+}
+
+TEST(SolverWarmStartTest, PartialHintsAreCompletedByPropagation) {
+  Model m;
+  const VarId x = m.new_int(0, 10, "x");
+  const VarId y = m.new_int(0, 10, "y");
+  m.add_linear(LinExpr(x) + LinExpr(y), Cmp::kEq, 7);
+  m.minimize(LinExpr(x) * 3 + LinExpr(y));
+  WarmStart partial;
+  partial.hints.emplace_back(x, 2);  // y is left to the completion dive
+  Solver s(m);
+  const auto r = s.minimize(partial);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_TRUE(r.warm_started);
+  EXPECT_EQ(r.objective, 7);  // x=0, y=7
+}
+
+TEST(SolverPortfolioTest, AnyMemberCountMatchesSingleSolver) {
+  const Model m = small_repair_model();
+  Solver single(m);
+  const auto base = single.minimize();
+  ASSERT_EQ(base.status, Status::kOptimal);
+  for (const int members : {2, 4, 7}) {
+    PortfolioOptions po;
+    po.members = members;
+    po.quantum = 64;
+    const auto r = minimize_portfolio(m, Budget{}, po, nullptr);
+    ASSERT_EQ(r.status, Status::kOptimal) << members << " members";
+    EXPECT_EQ(r.objective, base.objective) << members << " members";
+    EXPECT_EQ(r.assignment, base.assignment) << members << " members";
+  }
+}
+
+TEST(SolverPortfolioTest, UnsatIsUnsatAtAnyMemberCount) {
+  Model m;
+  const VarId x = m.new_int(0, 3, "x");
+  m.add_linear(LinExpr(x), Cmp::kGe, 5);
+  m.minimize(LinExpr(x));
+  PortfolioOptions po;
+  po.members = 4;
+  const auto r = minimize_portfolio(m, Budget{}, po, nullptr);
+  EXPECT_EQ(r.status, Status::kUnsat);
+  EXPECT_FALSE(r.has_solution());
+}
+
+TEST(SolverPortfolioTest, SeededBranchingStillExtractsCanonicalAssignment) {
+  // Different branch seeds explore in different orders but kOptimal
+  // results are canonically extracted: the assignment depends only on the
+  // model and the optimum, never on the seed.
+  const Model m = small_repair_model();
+  Solver canonical(m);
+  const auto base = canonical.minimize();
+  ASSERT_EQ(base.status, Status::kOptimal);
+  for (const std::uint64_t seed : {1ULL, 5ULL, 99ULL}) {
+    Solver::Options so;
+    so.branch_seed = seed;
+    Solver s(m, Budget{}, so);
+    const auto r = s.minimize();
+    ASSERT_EQ(r.status, Status::kOptimal) << "seed " << seed;
+    EXPECT_EQ(r.objective, base.objective) << "seed " << seed;
+    EXPECT_EQ(r.assignment, base.assignment) << "seed " << seed;
+  }
+}
+
+TEST(SolveCacheTest, HitReturnsIdenticalResultAndCounts) {
+  SolveCache::global().clear();
+  auto& reg = obs::Registry::global();
+  const std::int64_t hits0 = reg.counter("smt.cache.hit").value();
+  const std::int64_t miss0 = reg.counter("smt.cache.miss").value();
+
+  const Model m = small_repair_model();
+  RepairOptions ro;
+  ro.use_cache = true;
+  const auto first = repair_minimize(m, ro, nullptr);
+  ASSERT_EQ(first.status, Status::kOptimal);
+  EXPECT_FALSE(first.from_cache);
+
+  const auto second = repair_minimize(m, ro, nullptr);
+  ASSERT_EQ(second.status, Status::kOptimal);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.objective, first.objective);
+  EXPECT_EQ(second.assignment, first.assignment);
+  EXPECT_EQ(reg.counter("smt.cache.hit").value() - hits0, 1);
+  EXPECT_EQ(reg.counter("smt.cache.miss").value() - miss0, 1);
+  SolveCache::global().clear();
+}
+
+TEST(SolveCacheTest, CacheOffNeverMarksFromCache) {
+  SolveCache::global().clear();
+  const Model m = small_repair_model();
+  RepairOptions ro;
+  ro.use_cache = false;
+  const auto first = repair_minimize(m, ro, nullptr);
+  const auto second = repair_minimize(m, ro, nullptr);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_FALSE(second.from_cache);
+  EXPECT_EQ(SolveCache::global().size(), 0u);
+}
+
+TEST(CanonicalKeyTest, ConstraintOrderAndNamesDoNotChangeKey) {
+  // Same system, different build order and different variable names:
+  // identical repair key. Different rhs: different key.
+  auto build = [](bool swapped, const char* n0, std::int64_t rhs) {
+    Model m;
+    const VarId x = m.new_int(0, 10, n0);
+    const VarId y = m.new_int(0, 10, "y");
+    if (swapped) {
+      m.add_linear(LinExpr(x) - LinExpr(y), Cmp::kLe, 1);
+      m.add_linear(LinExpr(x) + LinExpr(y), Cmp::kEq, rhs);
+    } else {
+      m.add_linear(LinExpr(x) + LinExpr(y), Cmp::kEq, rhs);
+      m.add_linear(LinExpr(x) - LinExpr(y), Cmp::kLe, 1);
+    }
+    m.minimize(LinExpr(x));
+    return repair_key(m);
+  };
+  const std::string base = build(false, "x", 7);
+  EXPECT_EQ(build(true, "x", 7), base);
+  EXPECT_EQ(build(false, "renamed", 7), base);
+  EXPECT_NE(build(false, "x", 8), base);
 }
 
 std::vector<RandomInstance> make_instances() {
