@@ -40,6 +40,19 @@ class Imputer {
   /// Imputes the fine-grained queue length (in packets, length
   /// ex.window) from the example's coarse features/constraints.
   virtual std::vector<double> impute(const ImputationExample& ex) = 0;
+
+  /// Imputes many independent windows at once; out[i] corresponds to
+  /// batch[i]. The default just loops impute(); model-backed imputers
+  /// override it to stack the windows into one forward pass (the batched
+  /// inference path — see DESIGN.md), which must match the loop
+  /// bit-for-bit since each window's rows are computed independently.
+  virtual std::vector<std::vector<double>> impute_batch(
+      const std::vector<ImputationExample>& batch) {
+    std::vector<std::vector<double>> out;
+    out.reserve(batch.size());
+    for (const ImputationExample& ex : batch) out.push_back(impute(ex));
+    return out;
+  }
 };
 
 }  // namespace fmnet::impute

@@ -13,6 +13,12 @@ using namespace fmnet::tensor;  // NOLINT: op vocabulary
 
 KalTerms kal_penalty(const Tensor& pred, const ExampleConstraints& c,
                      float lambda_eq, float lambda_ineq, float mu) {
+  // The penalty exists to be differentiated; built under an InferenceGuard
+  // its graph would silently be discarded and the multipliers would train
+  // against nothing. Fail loudly instead.
+  FMNET_CHECK(!tensor::inference_mode(),
+              "kal_penalty inside an InferenceGuard scope: the KAL terms "
+              "must build an autograd graph");
   FMNET_CHECK_EQ(pred.ndim(), 1u);
   const std::int64_t t_len = pred.dim(0);
   FMNET_CHECK_GT(c.coarse_factor, 0);

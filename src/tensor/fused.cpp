@@ -70,15 +70,18 @@ Tensor linear_act(const Tensor& x, const Tensor& w, const Tensor& b,
   }
   kernels::gemm(x.data().data(), w.data().data(), out.data(), rows, k, n);
 
-  // GELU's gradient needs the pre-activation values; stash them. ReLU's
-  // gate is recoverable from the output sign, and identity needs nothing.
+  // GELU's gradient needs the pre-activation values; stash them (skipped in
+  // inference mode, where no backward will ever read them). ReLU's gate is
+  // recoverable from the output sign, and identity needs nothing.
   PooledPtr z;
   if (act == Act::kGelu) {
-    auto keep = pool::acquire(static_cast<std::size_t>(rows * n));
-    std::memcpy(keep.data(), out.data(),
-                static_cast<std::size_t>(rows * n) * sizeof(float));
-    z = std::make_shared<PooledBuf>(std::move(keep));
-    for (auto& v : out) v = detail::gelu_value(v);
+    if (!inference_mode()) {
+      auto keep = pool::acquire(static_cast<std::size_t>(rows * n));
+      std::memcpy(keep.data(), out.data(),
+                  static_cast<std::size_t>(rows * n) * sizeof(float));
+      z = std::make_shared<PooledBuf>(std::move(keep));
+    }
+    kernels::gelu_rows(out.data(), rows, n);
   } else if (act == Act::kRelu) {
     for (auto& v : out) v = detail::relu_value(v);
   }
@@ -227,22 +230,11 @@ Tensor softmax(const Tensor& a, std::size_t axis) {
   std::vector<float> out = pool::acquire(a.data().size());
   const auto& av = a.data();
   if (v.inner == 1) {
-    // Hot layout (softmax over the last axis): each fibre is contiguous,
-    // three unit-stride passes per row.
-    for (std::int64_t o = 0; o < v.outer; ++o) {
-      const float* row = av.data() + o * v.len;
-      float* orow = out.data() + o * v.len;
-      float mx = -std::numeric_limits<float>::infinity();
-      for (std::int64_t l = 0; l < v.len; ++l) mx = std::max(mx, row[l]);
-      // Exp pass kept free of the sum reduction so it vectorises.
-      for (std::int64_t l = 0; l < v.len; ++l) {
-        orow[l] = detail::fast_expf(row[l] - mx);
-      }
-      float denom = 0.0f;
-      for (std::int64_t l = 0; l < v.len; ++l) denom += orow[l];
-      const float inv = 1.0f / denom;
-      for (std::int64_t l = 0; l < v.len; ++l) orow[l] *= inv;
-    }
+    // Hot layout (softmax over the last axis): each fibre is contiguous —
+    // copy once, then run the ISA-dispatched row kernel in place (the
+    // same one the fused attention block uses).
+    std::memcpy(out.data(), av.data(), av.size() * sizeof(float));
+    kernels::softmax_rows(out.data(), v.outer, v.len, 1.0f);
   } else {
     for (std::int64_t o = 0; o < v.outer; ++o) {
       for (std::int64_t i = 0; i < v.inner; ++i) {
@@ -383,32 +375,27 @@ Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v,
   // into (at T=300 those were the two largest allocations per step). The
   // softmax rows are computed in place on the score buffer and kept for
   // backward, which needs them for both dV and the softmax Jacobian.
-  auto attn = std::make_shared<PooledBuf>(
-      pool::acquire(static_cast<std::size_t>(batch * t * s)));
+  // Backward is also the ONLY consumer of the whole-batch slab: inference
+  // reuses a single [T, S] scratch across entries instead — at B=16 the
+  // batch*T*S slab (1 MB at the bench sizes) evicts the L2-resident Q/K/V
+  // streams. Buffer addresses never enter the arithmetic, so batched
+  // results stay bit-identical either way.
+  const bool infer = inference_mode();
+  auto attn = std::make_shared<PooledBuf>(pool::acquire(
+      static_cast<std::size_t>((infer ? 1 : batch) * t * s)));
   std::vector<float> out =
       pool::acquire(static_cast<std::size_t>(batch * t * d));
   const float* qp = q.data().data();
   const float* kp = k.data().data();
   const float* vp = v.data().data();
   for (std::int64_t e = 0; e < batch; ++e) {
-    float* ae = attn->v.data() + e * t * s;
+    float* ae = attn->v.data() + (infer ? 0 : e * t * s);
     kernels::gemm_bt(qp + e * t * d, kp + e * s * d, ae, t, d, s,
                      /*pool=*/nullptr, /*accumulate=*/false);
-    // softmax(scale * x) == exp(scale * (x - max)) / sum: fold the score
-    // scale into the exp argument instead of a separate scaling pass.
-    for (std::int64_t r = 0; r < t; ++r) {
-      float* row = ae + r * s;
-      float mx = -std::numeric_limits<float>::infinity();
-      for (std::int64_t j = 0; j < s; ++j) mx = std::max(mx, row[j]);
-      // Exp pass kept free of the sum reduction so it vectorises.
-      for (std::int64_t j = 0; j < s; ++j) {
-        row[j] = detail::fast_expf(scale * (row[j] - mx));
-      }
-      float denom = 0.0f;
-      for (std::int64_t j = 0; j < s; ++j) denom += row[j];
-      const float inv = 1.0f / denom;
-      for (std::int64_t j = 0; j < s; ++j) row[j] *= inv;
-    }
+    // softmax(scale * x) == exp(scale * (x - max)) / sum: the score scale
+    // folds into the exp argument inside the ISA-dispatched row kernel
+    // instead of a separate scaling pass.
+    kernels::softmax_rows(ae, t, s, scale);
     kernels::gemm(ae, vp + e * s * d, out.data() + e * t * d, t, s, d,
                   /*pool=*/nullptr, /*accumulate=*/false);
   }

@@ -1,11 +1,15 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <vector>
 
+#include "tensor/activations.h"
 #include "tensor/pool.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace fmnet::tensor::kernels {
@@ -18,15 +22,20 @@ namespace {
 // instruction set. `baseline` is whatever the build targets (plain builds:
 // the SSE2 x86-64 floor; FMNET_NATIVE builds: the host ISA). On GCC x86-64
 // builds whose baseline lacks AVX2+FMA we additionally compile an
-// AVX2+FMA clone of the same body and pick it at startup when the CPU
-// supports it — the binary stays runnable on any x86-64 machine while
-// getting ~2.5x more GEMM throughput on post-2013 cores. Set
-// FMNET_KERNEL_ISA=portable to pin the baseline kernel (e.g. to compare
-// numbers against a pre-AVX2 machine: FMA contracts a*b+c into one
-// rounding, so the two paths can differ in the last ulp).
+// AVX2+FMA clone of the same body (~2.5x more GEMM throughput on post-2013
+// cores), and whose baseline lacks AVX-512F an AVX-512 clone (wider FMA
+// streams for the batched-inference row counts); the best CPU-supported
+// variant is picked at startup — the binary stays runnable on any x86-64
+// machine. Set FMNET_KERNEL_ISA=portable|avx2|avx512 to pin a variant
+// (e.g. to compare numbers across machines: FMA contracts a*b+c into one
+// rounding, so variants can differ in the last ulp), or call set_isa()
+// to re-pin at runtime (the tests sweep every supported variant).
 
 namespace baseline {
+#include "tensor/kernels_elementwise.inc"
 #include "tensor/kernels_panel.inc"
+#include "tensor/kernels_quant.inc"
+#include "tensor/kernels_skinny.inc"
 }  // namespace baseline
 
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
@@ -35,31 +44,174 @@ namespace baseline {
 #pragma GCC push_options
 #pragma GCC target("avx2,fma")
 namespace avx2 {
+#include "tensor/kernels_elementwise.inc"
 #include "tensor/kernels_panel.inc"
+#include "tensor/kernels_quant.inc"
+#include "tensor/kernels_skinny.inc"
 }  // namespace avx2
+#pragma GCC pop_options
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__AVX512F__)
+#define FMNET_GEMM_AVX512_CLONE 1
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx512vl,avx512bw,avx512dq,avx2,fma")
+namespace avx512 {
+#include "tensor/kernels_elementwise.inc"
+#include "tensor/kernels_panel.inc"
+#include "tensor/kernels_quant.inc"
+#include "tensor/kernels_skinny.inc"
+}  // namespace avx512
 #pragma GCC pop_options
 #endif
 
 using PanelFn = void (*)(const float*, std::int64_t, std::int64_t,
                          const float*, float*, std::int64_t, std::int64_t,
                          std::int64_t, bool);
+using SkinnyFn = void (*)(const float*, std::int64_t, std::int64_t,
+                          const float*, float*, std::int64_t, std::int64_t,
+                          std::int64_t, bool);
+using QuantLinearFn = void (*)(const float*, std::int64_t, std::int64_t,
+                               std::int64_t, const std::int8_t*,
+                               const float*, const float*, float*, float*,
+                               float*, int);
+using SoftmaxFn = void (*)(float*, std::int64_t, std::int64_t, float);
+using GeluFn = void (*)(float*, std::int64_t, std::int64_t);
 
-PanelFn resolve_panel() {
+PanelFn fn_for(Isa isa) {
+  switch (isa) {
 #ifdef FMNET_GEMM_AVX2_CLONE
-  const char* isa = std::getenv("FMNET_KERNEL_ISA");
-  const bool pin_portable = isa != nullptr && std::strcmp(isa, "portable") == 0;
-  if (!pin_portable && __builtin_cpu_supports("avx2") &&
-      __builtin_cpu_supports("fma")) {
-    return avx2::panel_update;
-  }
+    case Isa::kAvx2:
+      return avx2::panel_update;
 #endif
-  return baseline::panel_update;
+#ifdef FMNET_GEMM_AVX512_CLONE
+    case Isa::kAvx512:
+      return avx512::panel_update;
+#endif
+    default:
+      return baseline::panel_update;
+  }
 }
 
-PanelFn panel_fn() {
-  static const PanelFn fn = resolve_panel();
-  return fn;
+SkinnyFn skinny_fn_for(Isa isa) {
+  switch (isa) {
+#ifdef FMNET_GEMM_AVX2_CLONE
+    case Isa::kAvx2:
+      return avx2::skinny_run;
+#endif
+#ifdef FMNET_GEMM_AVX512_CLONE
+    case Isa::kAvx512:
+      return avx512::skinny_run;
+#endif
+    default:
+      return baseline::skinny_run;
+  }
 }
+
+QuantLinearFn quant_linear_fn_for(Isa isa) {
+  switch (isa) {
+#ifdef FMNET_GEMM_AVX2_CLONE
+    case Isa::kAvx2:
+      return avx2::quant_linear_rows_impl;
+#endif
+#ifdef FMNET_GEMM_AVX512_CLONE
+    case Isa::kAvx512:
+      return avx512::quant_linear_rows_impl;
+#endif
+    default:
+      return baseline::quant_linear_rows_impl;
+  }
+}
+
+SoftmaxFn softmax_fn_for(Isa isa) {
+  switch (isa) {
+#ifdef FMNET_GEMM_AVX2_CLONE
+    case Isa::kAvx2:
+      return avx2::softmax_rows_impl;
+#endif
+#ifdef FMNET_GEMM_AVX512_CLONE
+    case Isa::kAvx512:
+      return avx512::softmax_rows_impl;
+#endif
+    default:
+      return baseline::softmax_rows_impl;
+  }
+}
+
+GeluFn gelu_fn_for(Isa isa) {
+  switch (isa) {
+#ifdef FMNET_GEMM_AVX2_CLONE
+    case Isa::kAvx2:
+      return avx2::gelu_rows_impl;
+#endif
+#ifdef FMNET_GEMM_AVX512_CLONE
+    case Isa::kAvx512:
+      return avx512::gelu_rows_impl;
+#endif
+    default:
+      return baseline::gelu_rows_impl;
+  }
+}
+
+bool cpu_executes(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa resolve_initial() {
+  const char* env = std::getenv("FMNET_KERNEL_ISA");
+  if (env != nullptr) {
+    for (const Isa pin : {Isa::kPortable, Isa::kAvx2, Isa::kAvx512}) {
+      if (std::strcmp(env, isa_name(pin)) == 0 && isa_supported(pin)) {
+        return pin;
+      }
+    }
+    // Unknown or unsupported pin: fall through to the best variant rather
+    // than crash a run over an env typo.
+  }
+  Isa best = Isa::kPortable;
+  for (const Isa isa : compiled_isas()) {
+    if (cpu_executes(isa) && static_cast<int>(isa) > static_cast<int>(best)) {
+      best = isa;
+    }
+  }
+  return best;
+}
+
+// The active variant, re-pinnable at runtime via set_isa(). Stored as the
+// enum (relaxed atomic: one int load per gemm call); panel pointers come
+// from fn_for so a pin and its dispatch can never disagree.
+std::atomic<int> g_active{-1};
+
+Isa active_isa_slow() {
+  int cur = g_active.load(std::memory_order_relaxed);
+  if (cur < 0) {
+    // First call resolves the env default. Racing resolvers compute the
+    // same pure function of (env, cpuid), so last-write-wins is benign.
+    cur = static_cast<int>(resolve_initial());
+    g_active.store(cur, std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(cur);
+}
+
+PanelFn panel_fn() { return fn_for(active_isa_slow()); }
 
 // ---- driver ---------------------------------------------------------------
 
@@ -115,13 +267,112 @@ void gemm_driver(const float* a, std::int64_t a_rs, std::int64_t a_cs,
   }
 }
 
+// Skinny-N fast path (kernels_skinny.inc): for n <= kSkinnyMaxN each C row
+// rides in registers across the full k extent — no k-panelling, no C
+// re-reads. Serves gemm and gemm_at (B streamed in place); gemm_bt keeps
+// the panel path since its B needs repacking per k-panel anyway. Same
+// row-block partitioning and inline threshold as gemm_driver, so the
+// lane-count determinism contract carries over unchanged.
+bool skinny_gemm(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                 const float* b, float* c, std::int64_t m, std::int64_t k,
+                 std::int64_t n, util::ThreadPool* pool, bool accumulate) {
+  if (n <= 0 || n > kSkinnyMaxN) return false;
+  if (m == 0) return true;
+  if (k == 0) {
+    // An empty sum: overwrite mode still owes the caller zeros.
+    if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * 4);
+    return true;
+  }
+  const SkinnyFn fn = skinny_fn_for(active_isa_slow());
+  const std::int64_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  util::ThreadPool& tp = util::ThreadPool::resolve(pool);
+  const bool parallel =
+      tp.size() > 1 && 2 * m * k * n >= kParallelFlops && row_blocks > 1;
+  const auto run_block = [&](std::int64_t blk) {
+    const std::int64_t i0 = blk * kRowBlock;
+    const std::int64_t rows = std::min(kRowBlock, m - i0);
+    fn(a + i0 * a_rs, a_rs, a_cs, b, c + i0 * n, rows, k, n, accumulate);
+  };
+  if (parallel) {
+    tp.parallel_for(0, row_blocks, run_block);
+  } else {
+    for (std::int64_t blk = 0; blk < row_blocks; ++blk) run_block(blk);
+  }
+  return true;
+}
+
 }  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return "portable";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::vector<Isa> compiled_isas() {
+  std::vector<Isa> out{Isa::kPortable};
+#ifdef FMNET_GEMM_AVX2_CLONE
+  out.push_back(Isa::kAvx2);
+#endif
+#ifdef FMNET_GEMM_AVX512_CLONE
+  out.push_back(Isa::kAvx512);
+#endif
+  return out;
+}
+
+bool isa_supported(Isa isa) {
+  const std::vector<Isa> compiled = compiled_isas();
+  if (std::find(compiled.begin(), compiled.end(), isa) == compiled.end()) {
+    return false;
+  }
+  return cpu_executes(isa);
+}
+
+Isa active_isa() { return active_isa_slow(); }
+
+void set_isa(Isa isa) {
+  FMNET_CHECK(isa_supported(isa),
+              std::string("FMNET kernel ISA not supported on this "
+                          "build/CPU: ") +
+                  isa_name(isa));
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void softmax_rows(float* v, std::int64_t rows, std::int64_t len,
+                  float scale) {
+  if (rows == 0 || len == 0) return;
+  softmax_fn_for(active_isa_slow())(v, rows, len, scale);
+}
+
+void gelu_rows(float* v, std::int64_t rows, std::int64_t len) {
+  if (rows == 0 || len == 0) return;
+  gelu_fn_for(active_isa_slow())(v, rows, len);
+}
+
+void quant_linear_rows(const float* x, std::int64_t rows, std::int64_t k,
+                       std::int64_t n, const std::int8_t* wq,
+                       const float* wscale, const float* bias, float* y,
+                       float* xq_scratch, float* wq_scratch, int act) {
+  if (rows == 0 || n == 0) return;
+  quant_linear_fn_for(active_isa_slow())(x, rows, k, n, wq, wscale, bias, y,
+                                         xq_scratch, wq_scratch, act);
+}
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, util::ThreadPool* pool,
           bool accumulate) {
   // B is already row-major [k, n]: each k-panel is a contiguous slab, no
   // packing copy needed.
+  if (skinny_gemm(a, /*a_rs=*/k, /*a_cs=*/1, b, c, m, k, n, pool,
+                  accumulate)) {
+    return;
+  }
   gemm_driver(a, /*a_rs=*/k, /*a_cs=*/1, c, m, k, n, pool, accumulate,
               [b, n](std::int64_t p0, std::int64_t) { return b + p0 * n; });
 }
@@ -131,6 +382,10 @@ void gemm_at(const float* at, const float* b, float* c, std::int64_t m,
              bool accumulate) {
   // a(i, p) = at[p*m + i]: unit row stride, m-column stride. The panel
   // kernel hoists A loads out of its inner loop, so the stride is free.
+  if (skinny_gemm(at, /*a_rs=*/1, /*a_cs=*/m, b, c, m, k, n, pool,
+                  accumulate)) {
+    return;
+  }
   gemm_driver(at, /*a_rs=*/1, /*a_cs=*/m, c, m, k, n, pool, accumulate,
               [b, n](std::int64_t p0, std::int64_t) { return b + p0 * n; });
 }

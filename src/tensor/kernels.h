@@ -23,6 +23,15 @@
 // also compiled as an AVX2+FMA clone and selected at startup when the CPU
 // supports it (FMNET_KERNEL_ISA=portable pins the baseline path).
 //
+// Skinny outputs: when n <= kSkinnyMaxN (gemm and gemm_at only — gemm_bt
+// still needs its repack), a register-accumulating kernel keeps each C row
+// local across the full k extent and touches C once, dispatched over
+// fixed-width instantiations so the inner loops have compile-time trip
+// counts. Every row runs the ONE row body (no kMR quads), so an output
+// element is independent of the row's position within the call — the
+// property batched inference leans on when it stacks windows whose start
+// offsets are not multiples of kMR (see kernels_skinny.inc).
+//
 // Parallelism: output rows are split into fixed kRowBlock-row blocks and
 // sharded across util::ThreadPool lanes. Every output element is computed
 // start-to-finish by whichever lane owns its row block, with a k-order that
@@ -36,6 +45,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace fmnet::util {
 class ThreadPool;
@@ -43,12 +53,46 @@ class ThreadPool;
 
 namespace fmnet::tensor::kernels {
 
+/// Instruction-set variants of the panel kernel. kPortable is whatever the
+/// build baseline targets; kAvx2 / kAvx512 are runtime-dispatched clones
+/// compiled on x86-64 GCC builds whose baseline lacks them. FMA contracts
+/// a*b+c into one rounding, so variants may differ from each other (and
+/// from the references) in the last ulp — each variant is individually
+/// bit-deterministic at any lane count.
+enum class Isa { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "portable" / "avx2" / "avx512" — the FMNET_KERNEL_ISA spellings.
+const char* isa_name(Isa isa);
+
+/// Variants compiled into this binary (always includes kPortable; clones
+/// only exist on x86-64 GCC builds whose baseline lacks the target ISA).
+std::vector<Isa> compiled_isas();
+
+/// True when `isa` is compiled in AND the running CPU executes it.
+bool isa_supported(Isa isa);
+
+/// The variant the next gemm call will dispatch to. Startup default: the
+/// best supported variant, unless FMNET_KERNEL_ISA pins one (an
+/// unsupported pin falls back to the best supported variant).
+Isa active_isa();
+
+/// Re-pins the dispatch at runtime (tests sweep every supported variant in
+/// one process). Requires isa_supported(isa).
+void set_isa(Isa isa);
+
 /// Panel-kernel unroll: kMR C rows advance together, kKU k-steps at a time.
 inline constexpr std::int64_t kMR = 4;
 inline constexpr std::int64_t kKU = 4;
 /// k-panel depth: B slabs of at most kKC x n stay cache-resident and bound
 /// gemm_bt's repack scratch.
 inline constexpr std::int64_t kKC = 256;
+/// Widest n served by the skinny register-accumulating kernel: one AVX-512
+/// register / two AVX2 registers per C row.
+inline constexpr std::int64_t kSkinnyMaxN = 16;
+/// Largest k for which the quantised linear's fp32 MAC over int8-grid
+/// values is exactly the int32 result: |sum| <= 127 * 127 * k must stay
+/// under 2^24 (the fp32 exact-integer range).
+inline constexpr std::int64_t kQuantExactMacK = (1 << 24) / (127 * 127);
 /// Rows per parallel work item (a multiple of kMR so row quads never
 /// straddle lanes).
 inline constexpr std::int64_t kRowBlock = 64;
@@ -70,6 +114,35 @@ void gemm_at(const float* at, const float* b, float* c, std::int64_t m,
 void gemm_bt(const float* a, const float* bt, float* c, std::int64_t m,
              std::int64_t k, std::int64_t n,
              util::ThreadPool* pool = nullptr, bool accumulate = true);
+
+// Elementwise row kernels, ISA-dispatched like the GEMMs (the scalar
+// activation helpers contain clamp selects the SSE2 baseline cannot
+// if-convert, so these loops only vectorise under the AVX2/AVX-512
+// clones). Each output element is a pure function of its own row's
+// contents and within-row position — never of `rows` — so stacked
+// (batched) and per-window calls agree bit-for-bit under one ISA.
+
+/// In-place numerically-stable softmax over `rows` contiguous rows of
+/// `len`: row = exp(scale * (row - max(row))) / sum.
+void softmax_rows(float* v, std::int64_t rows, std::int64_t len,
+                  float scale);
+
+/// In-place tanh-approximation GELU over `rows` contiguous rows of `len`.
+void gelu_rows(float* v, std::int64_t rows, std::int64_t len);
+
+/// Fused int8 linear row kernel: per-row dynamic quantisation of x onto
+/// the int8 grid, MAC against the int8 weights, fp32 dequant with
+/// per-output-channel weight scales, bias, and activation (act:
+/// 0 = identity, 1 = relu, 2 = gelu). Rounding is bit-compatible with
+/// nearbyintf (round-half-to-even) via the magic-number shift. The MAC
+/// runs in fp32 over the quantised small-integer values — exactly the
+/// int32 result for k <= kQuantExactMacK, at fp32-FMA speed (see
+/// kernels_quant.inc). `xq_scratch` ([k]) and `wq_scratch` ([k*n]) are
+/// caller-provided so repeated calls reuse one allocation.
+void quant_linear_rows(const float* x, std::int64_t rows, std::int64_t k,
+                       std::int64_t n, const std::int8_t* wq,
+                       const float* wscale, const float* bias, float* y,
+                       float* xq_scratch, float* wq_scratch, int act);
 
 // Naive i-k-j reference implementations (single-threaded, no blocking).
 // Used by the kernel tests as ground truth; same accumulate-into-C

@@ -1,0 +1,107 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "tensor/activations.h"
+#include "tensor/kernels.h"
+#include "tensor/pool.h"
+#include "util/check.h"
+
+namespace fmnet::tensor::quant {
+
+namespace {
+
+std::int8_t quantize_value(float v, float inv_scale) {
+  // Round-half-away-from-zero, clamped to the symmetric int8 range. 128 is
+  // excluded so negation stays in range and the scheme is symmetric.
+  const float q = std::nearbyintf(v * inv_scale);
+  return static_cast<std::int8_t>(std::max(-127.0f, std::min(127.0f, q)));
+}
+
+struct ObsCounters {
+  obs::Counter& calls;
+  obs::Counter& rows;
+
+  static ObsCounters& instance() {
+    auto& reg = obs::Registry::global();
+    static ObsCounters c{reg.counter("tensor.quant.linear_calls"),
+                         reg.counter("tensor.quant.rows")};
+    return c;
+  }
+};
+
+}  // namespace
+
+QuantizedLinear quantize_linear_weights(const float* w, std::int64_t in,
+                                        std::int64_t out) {
+  FMNET_CHECK_GT(in, 0);
+  FMNET_CHECK_GT(out, 0);
+  QuantizedLinear qw;
+  qw.in = in;
+  qw.out = out;
+  qw.wq.resize(static_cast<std::size_t>(in * out));
+  qw.scale.resize(static_cast<std::size_t>(out));
+  for (std::int64_t j = 0; j < out; ++j) {
+    float amax = 0.0f;
+    for (std::int64_t p = 0; p < in; ++p) {
+      amax = std::max(amax, std::fabs(w[p * out + j]));
+    }
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    qw.scale[static_cast<std::size_t>(j)] = scale;
+    const float inv = 1.0f / scale;
+    for (std::int64_t p = 0; p < in; ++p) {
+      qw.wq[static_cast<std::size_t>(p * out + j)] =
+          quantize_value(w[p * out + j], inv);
+    }
+  }
+  return qw;
+}
+
+void quantized_linear_forward(const float* x, std::int64_t rows,
+                              const QuantizedLinear& qw, const float* bias,
+                              float* y, Act act) {
+  FMNET_CHECK(!qw.empty(), "quantized_linear_forward on empty weights");
+  const std::int64_t k = qw.in;
+  const std::int64_t n = qw.out;
+  ObsCounters::instance().calls.add();
+  ObsCounters::instance().rows.add(rows);
+
+  // Scratch: per-row quantised activations plus a float shadow of the int8
+  // weights (small — k, n <= d_ff — so plain vectors beat pool
+  // round-trips). The fused per-row pass (absmax -> quantise -> MAC ->
+  // dequant + activation) lives in the ISA-dispatched kernel family next
+  // to the GEMMs; the scalar nearbyintf loop it replaces cost more than
+  // the MACs, and the fp32-domain MAC is exact for k <= kQuantExactMacK.
+  std::vector<float> xq(static_cast<std::size_t>(k));
+  std::vector<float> wqf(static_cast<std::size_t>(k * n));
+  kernels::quant_linear_rows(x, rows, k, n, qw.wq.data(), qw.scale.data(),
+                             bias, y, xq.data(), wqf.data(),
+                             static_cast<int>(act));
+}
+
+Tensor linear_act_quantized(const Tensor& x, const QuantizedLinear& qw,
+                            const Tensor& b, Act act) {
+  FMNET_CHECK(inference_mode(),
+              "linear_act_quantized outside an InferenceGuard scope: the "
+              "int8 path has no backward");
+  FMNET_CHECK(x.ndim() == 2 || x.ndim() == 3,
+              "linear_act_quantized expects 2-D or 3-D input");
+  FMNET_CHECK_EQ(x.shape().back(), qw.in);
+  FMNET_CHECK_EQ(b.ndim(), 1u);
+  FMNET_CHECK_EQ(b.dim(0), qw.out);
+
+  const std::int64_t rows = x.numel() / qw.in;
+  std::vector<float> out =
+      pool::acquire(static_cast<std::size_t>(rows * qw.out));
+  quantized_linear_forward(x.data().data(), rows, qw, b.data().data(),
+                           out.data(), act);
+  Shape out_shape = x.shape();
+  out_shape.back() = qw.out;
+  return make_op_result(std::move(out_shape), std::move(out), {x, b},
+                        nullptr);
+}
+
+}  // namespace fmnet::tensor::quant

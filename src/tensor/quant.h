@@ -1,0 +1,62 @@
+// Int8 inference quantisation for Linear layers.
+//
+// Scheme (weight-only static + activation dynamic, the standard "dynamic
+// quantisation" recipe):
+//
+//  * Weights: symmetric per-output-channel int8. Column j of W[k, n] gets
+//    scale_w[j] = max_i |W[i, j]| / 127 and is rounded to wq in [-127, 127].
+//    Computed once when a module switches to int8 precision.
+//  * Activations: symmetric per-row int8, quantised on the fly. Row i of
+//    X[rows, k] gets scale_x[i] = max_j |X[i, j]| / 127.
+//  * Dot products accumulate the quantised values exactly — the kernel
+//    runs them as fp32 FMAs over small integers, which IS the int32
+//    result for k <= kernels::kQuantExactMacK since every product
+//    (<= 127^2) and partial sum (< 2^24) is representable (see
+//    kernels_quant.inc) — then a single fp32 pass applies
+//    scale_x[i] * scale_w[j], adds the fp32 bias and the activation — so
+//    the only precision loss is the two rounding steps, bounded per output
+//    by 0.5 * (scale_x * ||wq_col||_1 + scale_w * ||xq_row||_1) ulps of the
+//    respective scales.
+//
+// Only Linear layers quantise; attention, layer-norm and softmax stay fp32
+// (they are cheap at d_model 16 and dominate accuracy). The quantised
+// forward is inference-only: it builds no autograd graph and refuses to run
+// outside an InferenceGuard scope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace fmnet::tensor::quant {
+
+/// Per-output-channel int8 snapshot of a Linear weight matrix.
+struct QuantizedLinear {
+  std::int64_t in = 0;   // k
+  std::int64_t out = 0;  // n
+  std::vector<std::int8_t> wq;  // [in, out] row-major, same layout as W
+  std::vector<float> scale;     // [out] dequantisation scale per column
+
+  bool empty() const { return wq.empty(); }
+};
+
+/// Quantises W[in, out] (row-major) per output channel. All-zero columns
+/// get scale 1 so dequantisation stays well-defined.
+QuantizedLinear quantize_linear_weights(const float* w, std::int64_t in,
+                                        std::int64_t out);
+
+/// y[rows, n] = act(dequant(quant(x) @ wq) + bias). Plain buffers, no
+/// autograd; `bias` has qw.out entries. Single-threaded: the transformer's
+/// int8 rows are far below the gemm parallel threshold.
+void quantized_linear_forward(const float* x, std::int64_t rows,
+                              const QuantizedLinear& qw, const float* bias,
+                              float* y, Act act);
+
+/// Tensor-level wrapper used by nn::Linear's int8 path. Folds leading axes
+/// like linear_act ([B, T, k] -> [B, T, n]). Requires inference_mode():
+/// the result is a plain value node and there is no backward.
+Tensor linear_act_quantized(const Tensor& x, const QuantizedLinear& qw,
+                            const Tensor& b, Act act);
+
+}  // namespace fmnet::tensor::quant

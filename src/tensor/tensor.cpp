@@ -223,6 +223,18 @@ Tensor Tensor::detach() const {
   return Tensor(std::move(n));
 }
 
+namespace {
+thread_local bool t_inference_mode = false;
+}  // namespace
+
+InferenceGuard::InferenceGuard() : prev_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+InferenceGuard::~InferenceGuard() { t_inference_mode = prev_; }
+
+bool inference_mode() { return t_inference_mode; }
+
 Tensor make_op_result(Shape shape, std::vector<float> data,
                       std::vector<Tensor> inputs,
                       std::function<void(Node& out)> backward_fn) {
@@ -230,6 +242,15 @@ Tensor make_op_result(Shape shape, std::vector<float> data,
   auto n = std::make_shared<Node>();
   n->shape = std::move(shape);
   n->storage = std::make_shared<std::vector<float>>(std::move(data));
+  if (t_inference_mode) {
+    // No-autograd path: the result is a plain value node. Inputs are still
+    // validated, but not retained — an intermediate's storage goes back to
+    // the pool as soon as its last consumer releases the handle.
+    for (const Tensor& in : inputs) {
+      FMNET_CHECK(in.defined(), "op input tensor is undefined");
+    }
+    return Tensor(std::move(n));
+  }
   for (const Tensor& in : inputs) {
     FMNET_CHECK(in.defined(), "op input tensor is undefined");
     n->parents.push_back(in.node());

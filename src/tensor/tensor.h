@@ -157,9 +157,34 @@ struct Node {
 
 /// Creates a fresh op-result node; requires_grad and parents are derived
 /// from the inputs. `backward_fn` receives the finished output node and
-/// must add contributions into each input's grad buffer.
+/// must add contributions into each input's grad buffer. Inside an
+/// InferenceGuard scope the node records neither parents nor backward_fn.
 Tensor make_op_result(Shape shape, std::vector<float> data,
                       std::vector<Tensor> inputs,
                       std::function<void(Node& out)> backward_fn);
+
+/// RAII scope that disables autograd graph construction on this thread:
+/// ops created inside produce plain value nodes (no parents, no backward
+/// closure, requires_grad false). Forward values are bit-identical to the
+/// graph-building path — the same kernels run on the same buffers — but
+/// every intermediate returns to the tensor pool the moment its consumer
+/// finishes instead of living until the output dies, so repeated inference
+/// calls recycle one working set of pooled activations. Nestable; restores
+/// the previous state on destruction. backward() through a region computed
+/// under a guard sees a leaf, which is the point: use it for serving, never
+/// inside a training step (nn::kal_penalty checks).
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True while an InferenceGuard is live on this thread.
+bool inference_mode();
 
 }  // namespace fmnet::tensor

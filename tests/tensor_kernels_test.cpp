@@ -166,6 +166,75 @@ TEST(GemmKernels, OverwriteModeEqualsAccumulateIntoZeros) {
   }
 }
 
+// ---- ISA dispatch sweep ---------------------------------------------------
+
+// Pins every compiled-and-executable FMNET_KERNEL_ISA variant (portable /
+// avx2 / avx512) in one process and holds each to the same GEMM-vs-
+// reference tolerances. Restores the startup dispatch on exit so test
+// order never leaks a pinned ISA.
+TEST(GemmKernels, AllIsaVariantsMatchReference) {
+  const kernels::Isa startup = kernels::active_isa();
+  fmnet::Rng rng(115);
+  const std::int64_t m = 45;
+  const std::int64_t k = 33;
+  // n spans the skinny widths (1, 8, 16) and a panel-path width (63).
+  for (const std::int64_t n : {std::int64_t{1}, std::int64_t{8},
+                               std::int64_t{16}, std::int64_t{63}}) {
+    const auto a = random_buffer(static_cast<std::size_t>(m * k), rng);
+    const auto b = random_buffer(static_cast<std::size_t>(k * n), rng);
+    std::vector<float> ref(static_cast<std::size_t>(m * n), 0.0f);
+    kernels::reference_gemm(a.data(), b.data(), ref.data(), m, k, n);
+    for (const kernels::Isa isa : kernels::compiled_isas()) {
+      if (!kernels::isa_supported(isa)) continue;
+      kernels::set_isa(isa);
+      std::vector<float> fast(static_cast<std::size_t>(m * n), 0.0f);
+      kernels::gemm(a.data(), b.data(), fast.data(), m, k, n);
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_NEAR(fast[i], ref[i], gemm_tol(k))
+            << kernels::isa_name(isa) << " n=" << n << " element " << i;
+      }
+    }
+  }
+  kernels::set_isa(startup);
+}
+
+// The skinny kernel's determinism contract (kernels_skinny.inc): an output
+// row is independent of its position within the call, on every ISA. This
+// is the regression test for the batched-inference bug where a kMR-row
+// quad body contracted FMAs asymmetrically and windows starting at
+// different quad phases diverged from the per-window loop.
+TEST(GemmKernels, SkinnyRowsIndependentOfRowPosition) {
+  const kernels::Isa startup = kernels::active_isa();
+  fmnet::Rng rng(116);
+  const std::int64_t m = 90;  // 90 % kMR != 0: rows cover every quad phase
+  const std::int64_t k = 16;
+  for (const std::int64_t n : {std::int64_t{1}, std::int64_t{8},
+                               std::int64_t{16}}) {
+    const auto a = random_buffer(static_cast<std::size_t>(m * k), rng);
+    const auto b = random_buffer(static_cast<std::size_t>(k * n), rng);
+    for (const kernels::Isa isa : kernels::compiled_isas()) {
+      if (!kernels::isa_supported(isa)) continue;
+      kernels::set_isa(isa);
+      std::vector<float> full(static_cast<std::size_t>(m * n), 0.0f);
+      kernels::gemm(a.data(), b.data(), full.data(), m, k, n);
+      for (const std::int64_t i0 : {std::int64_t{1}, std::int64_t{2},
+                                    std::int64_t{3}, std::int64_t{17}}) {
+        std::vector<float> part(static_cast<std::size_t>((m - i0) * n),
+                                0.0f);
+        kernels::gemm(a.data() + i0 * k, b.data(), part.data(), m - i0, k,
+                      n);
+        for (std::size_t i = 0; i < part.size(); ++i) {
+          EXPECT_EQ(part[i],
+                    full[static_cast<std::size_t>(i0 * n) + i])
+              << kernels::isa_name(isa) << " n=" << n << " offset " << i0
+              << " element " << i;
+        }
+      }
+    }
+  }
+  kernels::set_isa(startup);
+}
+
 // ---- fast math helpers ----------------------------------------------------
 
 TEST(FastMath, ExpMatchesLibmWithinTolerance) {
