@@ -220,12 +220,35 @@ core::Scenario cli_default_scenario() {
 
 int cmd_run(const core::Scenario& s, const CliOptions& cli) {
   core::Engine engine = make_engine(cli);
+  if (s.fabric.enabled()) {
+    // Fabric scenario: one Table-1 block per switch, in switch-index
+    // order. Still a pure function of the scenario — the CI fabric smoke
+    // diffs cold vs warm stdout byte-for-byte.
+    const auto results = engine.run_fabric(s);
+    for (const auto& r : results) {
+      std::cout << "== " << r.name << " ==\n";
+      core::print_table1(r.rows, std::cout);
+    }
+    return 0;
+  }
   const auto rows = engine.run(s);
   core::print_table1(rows, std::cout);
   return 0;
 }
 
+/// Commands that drive the single-switch pipeline directly reject fabric
+/// scenarios instead of silently ignoring the topology.
+bool reject_fabric(const core::Scenario& s, const char* command) {
+  if (!s.fabric.enabled()) return false;
+  std::fprintf(stderr,
+               "fmnet_cli: %s does not support fabric scenarios "
+               "(fabric.leaves/spines set); use 'run'\n",
+               command);
+  return true;
+}
+
 int cmd_sweep(const core::Scenario& s, const CliOptions& cli) {
+  if (reject_fabric(s, "sweep")) return 2;
   core::Engine engine = make_engine(cli);
   const auto curves =
       core::run_robustness_sweep(engine, s, cli.severities);
@@ -245,6 +268,7 @@ int cmd_sweep(const core::Scenario& s, const CliOptions& cli) {
 }
 
 int cmd_simulate(const core::Scenario& s, const CliOptions& cli) {
+  if (reject_fabric(s, "simulate")) return 2;
   core::Engine engine = make_engine(cli);
   const auto campaign = engine.campaign(s.campaign);
   const auto data = engine.prepare(s, campaign);
@@ -272,6 +296,7 @@ int cmd_simulate(const core::Scenario& s, const CliOptions& cli) {
 }
 
 int cmd_impute(const core::Scenario& s, const CliOptions& cli) {
+  if (reject_fabric(s, "impute")) return 2;
   core::Engine engine = make_engine(cli);
   const auto campaign = engine.campaign(s.campaign);
   const auto data = engine.prepare(s, campaign);

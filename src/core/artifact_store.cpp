@@ -43,6 +43,16 @@ obs::Counter& corrupt_counter() {
   return c;
 }
 
+/// Per-kind twin of the aggregate counters above
+/// ("engine.artifact.<event>.<kind>"), letting tests and tooling assert
+/// cache granularity per artifact kind (e.g. exactly one dataset miss on a
+/// warm fabric run after one switch's faults changed). Interned per call —
+/// find/put run at stage granularity, so the registry lookup is noise.
+obs::Counter& kind_counter(const char* event, const std::string& kind) {
+  return obs::Registry::global().counter(std::string("engine.artifact.") +
+                                         event + "." + kind);
+}
+
 /// Digest of a file's bytes, or nullopt when it cannot be read.
 std::optional<std::string> digest_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -106,6 +116,7 @@ std::optional<std::string> ArtifactStore::find(const std::string& kind,
   std::error_code ec;
   if (!fs::exists(path, ec)) {
     miss_counter().add(1);
+    kind_counter("miss", kind).add(1);
     return std::nullopt;
   }
   std::optional<std::string> want;
@@ -120,11 +131,14 @@ std::optional<std::string> ArtifactStore::find(const std::string& kind,
     // clear the pair so the recomputed artifact lands cleanly.
     corrupt_counter().add(1);
     miss_counter().add(1);
+    kind_counter("corrupt", kind).add(1);
+    kind_counter("miss", kind).add(1);
     remove_quietly(path);
     remove_quietly(sidecar);
     return std::nullopt;
   }
   hit_counter().add(1);
+  kind_counter("hit", kind).add(1);
   return path;
 }
 
@@ -164,6 +178,7 @@ std::optional<std::string> ArtifactStore::put(
     FMNET_CHECK(!ec, "cannot rename " + sum_tmp + ": " + ec.message());
   }
   write_counter().add(1);
+  kind_counter("write", kind).add(1);
   return path;
 }
 

@@ -5,10 +5,13 @@
 #include <optional>
 #include <utility>
 
+#include "fabric/fabric.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/check.h"
 #include "util/hash.h"
+#include "util/rng.h"
 #include "util/serial.h"
 
 namespace fmnet::core {
@@ -262,8 +265,13 @@ Campaign Engine::campaign(const CampaignConfig& config) {
 }
 
 PreparedData Engine::prepare(const Scenario& s, const Campaign& campaign) {
+  return prepare_with_key(s, campaign, dataset_key(s));
+}
+
+PreparedData Engine::prepare_with_key(const Scenario& s,
+                                      const Campaign& campaign,
+                                      const std::string& key) {
   obs::ScopedSpan span("engine.prepare");
-  const std::string key = dataset_key(s);
   if (const auto path = store_.find("dataset", key)) {
     if (auto cached = try_load<PreparedData>(
             *path, [](std::istream& in) { return read_prepared(in); })) {
@@ -280,6 +288,13 @@ PreparedData Engine::prepare(const Scenario& s, const Campaign& campaign) {
 impute::BuiltImputer Engine::fit_method(const Scenario& s,
                                         const std::string& method,
                                         const PreparedData& data) {
+  return fit_method_with_key(s, method, data, checkpoint_key(s, method));
+}
+
+impute::BuiltImputer Engine::fit_method_with_key(const Scenario& s,
+                                                 const std::string& method,
+                                                 const PreparedData& data,
+                                                 const std::string& key) {
   obs::ScopedSpan span("engine.train");
   impute::MethodParams params;
   params.model = s.model;
@@ -290,7 +305,6 @@ impute::BuiltImputer Engine::fit_method(const Scenario& s,
 
   const bool checkpointable = built.trainable != nullptr && store_.enabled();
   if (checkpointable) {
-    const std::string key = checkpoint_key(s, method);
     if (const auto path = store_.find("checkpoint", key)) {
       std::ifstream in(*path, std::ios::binary);
       bool loaded = false;
@@ -345,6 +359,177 @@ std::vector<Table1Row> Engine::run(const Scenario& s) {
     rows.push_back(evaluator.evaluate(*built.imputer));
   }
   return rows;
+}
+
+Scenario Engine::fabric_switch_scenario(const Scenario& s,
+                                        std::int64_t index) {
+  FMNET_CHECK(s.fabric.enabled(), "scenario has no fabric topology");
+  Scenario out = s;
+  out.name = s.name + "/" + fabric::switch_name(s.fabric, index);
+  const bool faulted =
+      s.faults.enabled() &&
+      (s.fabric.faults_switch < 0 || s.fabric.faults_switch == index);
+  if (faulted) {
+    // Each degraded switch gets its own fault stream, the same discipline
+    // the fault injectors use internally for their sub-streams.
+    out.faults.seed = derive_stream_seed(s.faults.seed,
+                                         static_cast<std::uint64_t>(index));
+  } else {
+    out.faults = faults::FaultConfig{};
+  }
+  out.train.seed =
+      derive_stream_seed(s.train.seed, static_cast<std::uint64_t>(index));
+  return out;
+}
+
+namespace {
+
+std::string fabric_switch_suffix(const Scenario& s, std::int64_t index) {
+  return canonical_fabric(s) +
+         "fabric.switch = " + fabric::switch_name(s.fabric, index) + "\n";
+}
+
+}  // namespace
+
+std::string Engine::fabric_campaign_key(const Scenario& s,
+                                        std::int64_t index) {
+  // Faults never touch the coupled ground truth, so the per-switch
+  // campaign hashes only campaign config + topology + switch identity.
+  return util::stable_key(canonical_campaign(s.campaign) +
+                          fabric_switch_suffix(s, index));
+}
+
+std::string Engine::fabric_dataset_key(const Scenario& s,
+                                       std::int64_t index) {
+  // canonical_dataset of the *effective* per-switch scenario: switches
+  // outside the fault scope contribute no faults block at all, so editing
+  // one switch's faults leaves every other switch's dataset key unchanged
+  // — the cache-granularity contract.
+  return util::stable_key(canonical_dataset(fabric_switch_scenario(s, index)) +
+                          fabric_switch_suffix(s, index));
+}
+
+std::string Engine::fabric_checkpoint_key(const Scenario& s,
+                                          std::int64_t index,
+                                          const std::string& method) {
+  return util::stable_key(
+      canonical_training(fabric_switch_scenario(s, index),
+                         impute::Registry::base_method(method)) +
+      fabric_switch_suffix(s, index));
+}
+
+std::vector<Campaign> Engine::fabric_campaigns(const Scenario& s) {
+  FMNET_CHECK(s.fabric.enabled(), "scenario has no fabric topology");
+  // Fabric campaigns shard per switch; time-sharding would decouple the
+  // switches and change the ground truth's meaning.
+  FMNET_CHECK_EQ(s.campaign.shard_ms, 0);
+  obs::ScopedSpan span("engine.fabric.simulate");
+  const std::int64_t n = s.fabric.num_switches();
+  const auto un = static_cast<std::size_t>(n);
+
+  std::vector<std::string> keys;
+  keys.reserve(un);
+  for (std::int64_t i = 0; i < n; ++i) {
+    keys.push_back(fabric_campaign_key(s, i));
+  }
+
+  // Probe every switch once (exact per-kind hit/miss counters), then load
+  // all or re-simulate the whole coupled fabric, re-writing only the
+  // switches that missed or failed to parse.
+  std::vector<std::optional<Campaign>> cached(un);
+  bool all_cached = store_.enabled();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (const auto path = store_.find("fabric-gt", keys[ui])) {
+      cached[ui] = try_load<Campaign>(
+          *path, [](std::istream& in) { return read_campaign(in); });
+    }
+    if (!cached[ui].has_value()) all_cached = false;
+  }
+  if (all_cached) {
+    std::vector<Campaign> out;
+    out.reserve(un);
+    for (auto& c : cached) out.push_back(std::move(*c));
+    return out;
+  }
+
+  fabric::FabricParams p;
+  p.topo = s.fabric;
+  p.buffer_size = s.campaign.buffer_size;
+  p.slots_per_ms = s.campaign.slots_per_ms;
+  p.total_ms = s.campaign.total_ms;
+  p.seed = s.campaign.seed;
+  p.scheduler = s.campaign.scheduler;
+  std::vector<fabric::SwitchGroundTruth> gts = fabric::simulate_fabric(p, pool_);
+
+  std::vector<Campaign> out;
+  out.reserve(un);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    Campaign c{std::move(gts[ui].config), std::move(gts[ui].gt)};
+    if (!cached[ui].has_value()) {
+      store_.put("fabric-gt", keys[ui],
+                 [&](std::ostream& os) { write_campaign(os, c); });
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<FabricSwitchResult> Engine::run_fabric_switches(
+    const Scenario& s, const std::vector<Campaign>& campaigns) {
+  FMNET_CHECK(s.fabric.enabled(), "scenario has no fabric topology");
+  const std::int64_t n = s.fabric.num_switches();
+  FMNET_CHECK_EQ(static_cast<std::int64_t>(campaigns.size()), n);
+  obs::ScopedSpan span("engine.fabric.switches");
+  obs::Registry::global().counter("fabric.switch_runs").add(n);
+  util::ThreadPool& tp = util::ThreadPool::resolve(pool_);
+
+  // One task per switch; each task's nested parallelism (training
+  // micro-shards, CEM repair) recruits only idle lanes. All cross-task
+  // state (artifact store, SMT repair cache, obs) is thread-safe and
+  // result-invariant, so rows are bit-identical at any lane count.
+  return util::parallel_map<FabricSwitchResult>(tp, n, [&](std::int64_t i) {
+    const Scenario sw_s = fabric_switch_scenario(s, i);
+    const PreparedData data =
+        prepare_with_key(sw_s, campaigns[static_cast<std::size_t>(i)],
+                         fabric_dataset_key(s, i));
+    const Table1Evaluator evaluator(campaigns[static_cast<std::size_t>(i)],
+                                    data, sw_s.burst_threshold_fraction);
+
+    impute::MethodParams params;
+    params.model = sw_s.model;
+    params.train = sw_s.train;
+    params.cem = sw_s.cem;
+    params.pool = pool_;
+
+    std::map<std::string, impute::BuiltImputer> fitted;
+    FabricSwitchResult res;
+    res.name = fabric::switch_name(s.fabric, i);
+    res.rows.reserve(sw_s.methods.size());
+    for (const auto& method : sw_s.methods) {
+      const std::string base = impute::Registry::base_method(method);
+      auto it = fitted.find(base);
+      if (it == fitted.end()) {
+        it = fitted
+                 .emplace(base, fit_method_with_key(
+                                    sw_s, base, data,
+                                    fabric_checkpoint_key(s, i, base)))
+                 .first;
+      }
+      const impute::BuiltImputer built =
+          method == base ? it->second
+                         : impute::Registry::with_cem(it->second, params);
+      obs::ScopedSpan eval_span("engine.evaluate");
+      res.rows.push_back(evaluator.evaluate(*built.imputer));
+    }
+    return res;
+  });
+}
+
+std::vector<FabricSwitchResult> Engine::run_fabric(const Scenario& s) {
+  const std::vector<Campaign> campaigns = fabric_campaigns(s);
+  return run_fabric_switches(s, campaigns);
 }
 
 }  // namespace fmnet::core

@@ -32,6 +32,13 @@
 
 namespace fmnet::core {
 
+/// One switch's evaluation in a fabric run (Engine::run_fabric), in
+/// switch-index order — leaves first, then spines.
+struct FabricSwitchResult {
+  std::string name;
+  std::vector<Table1Row> rows;
+};
+
 class Engine {
  public:
   /// `store` defaults to the FMNET_ARTIFACT_DIR-rooted store (disabled
@@ -57,6 +64,29 @@ class Engine {
   /// The full staged DAG: one Table-1 row per scenario method, in order.
   std::vector<Table1Row> run(const Scenario& s);
 
+  // ---- fabric path (s.fabric.enabled()) -----------------------------------
+
+  /// Per-switch campaigns of the coupled fabric simulation, cached
+  /// individually (kind "fabric-gt"). The simulation is coupled, so a warm
+  /// run loads all switches or re-simulates the whole fabric: with
+  /// unchanged fabric/campaign config every switch hits (the keys ignore
+  /// faults entirely), and only genuinely missing/corrupt entries are
+  /// rewritten.
+  std::vector<Campaign> fabric_campaigns(const Scenario& s);
+
+  /// The per-switch phase: prepare → train → evaluate for every switch,
+  /// sharded over the pool as one task graph (training inside each task
+  /// fans out only to idle lanes — the nesting-safe pool contract).
+  /// Datasets and checkpoints are cached per switch, so a warm run
+  /// recomputes only switches whose per-switch config hash changed.
+  /// Exposed separately from run_fabric so benches can lane-sweep it over
+  /// precomputed campaigns.
+  std::vector<FabricSwitchResult> run_fabric_switches(
+      const Scenario& s, const std::vector<Campaign>& campaigns);
+
+  /// The fabric DAG end to end: fabric_campaigns + run_fabric_switches.
+  std::vector<FabricSwitchResult> run_fabric(const Scenario& s);
+
   const ArtifactStore& store() const { return store_; }
 
   /// The pool every stage runs on (null = global pool), exposed so
@@ -69,7 +99,35 @@ class Engine {
   static std::string checkpoint_key(const Scenario& s,
                                     const std::string& method);
 
+  /// The effective single-switch scenario of fabric switch `index`: the
+  /// fabric scenario with faults scoped to this switch (per-switch derived
+  /// fault seed, or disabled when fabric.faults-switch excludes it) and a
+  /// per-switch derived train seed. Pure function of (s, index) — the
+  /// basis of the per-switch cache keys below.
+  static Scenario fabric_switch_scenario(const Scenario& s,
+                                         std::int64_t index);
+
+  /// Per-switch fabric cache keys. The campaign key hashes campaign +
+  /// fabric topology + switch name (faults never touch ground truth); the
+  /// dataset key additionally hashes windowing + this switch's effective
+  /// faults; the checkpoint key chains the per-switch dataset with
+  /// model/train config and the base method.
+  static std::string fabric_campaign_key(const Scenario& s,
+                                         std::int64_t index);
+  static std::string fabric_dataset_key(const Scenario& s,
+                                        std::int64_t index);
+  static std::string fabric_checkpoint_key(const Scenario& s,
+                                           std::int64_t index,
+                                           const std::string& method);
+
  private:
+  PreparedData prepare_with_key(const Scenario& s, const Campaign& campaign,
+                                const std::string& key);
+  impute::BuiltImputer fit_method_with_key(const Scenario& s,
+                                           const std::string& method,
+                                           const PreparedData& data,
+                                           const std::string& key);
+
   ArtifactStore store_;
   util::ThreadPool* pool_;
 };

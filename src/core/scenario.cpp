@@ -420,6 +420,37 @@ const std::vector<OptionDef>& option_defs() {
                     [](const Scenario& s) {
                       return fmt_int(s.faults.quantize);
                     }});
+
+    // --- leaf-spine fabric (fabric/fabric.h) ---
+    // Appended after every pre-existing key (same discipline as faults):
+    // the emit() ranges feeding single-switch cache keys stay byte
+    // identical, and canonical_fabric() joins fabric cache keys only when
+    // the fabric is enabled.
+    auto fabric_count = [](const char* key,
+                           std::int64_t fabric::FabricConfig::*m,
+                           std::int64_t min_value) {
+      return OptionDef{
+          key,
+          [m, min_value](Scenario& s, const std::string& k,
+                         const std::string& v) {
+            const auto parsed = parse_int(k, v);
+            FMNET_CHECK_GE(parsed, min_value);
+            s.fabric.*m = parsed;
+          },
+          [m](const Scenario& s) { return fmt_int(s.fabric.*m); }};
+    };
+    defs.push_back(
+        fabric_count("fabric.leaves", &fabric::FabricConfig::leaves, 0));
+    defs.push_back(
+        fabric_count("fabric.spines", &fabric::FabricConfig::spines, 0));
+    defs.push_back(fabric_count("fabric.hosts-per-leaf",
+                                &fabric::FabricConfig::hosts_per_leaf, 1));
+    defs.push_back(fabric_count("fabric.link-capacity",
+                                &fabric::FabricConfig::link_capacity, 1));
+    defs.push_back(fabric_count("fabric.link-delay-ms",
+                                &fabric::FabricConfig::link_delay_ms, 1));
+    defs.push_back(fabric_count("fabric.faults-switch",
+                                &fabric::FabricConfig::faults_switch, -1));
     return defs;
   }();
   return kDefs;
@@ -512,9 +543,9 @@ Scenario load_scenario_file(const std::string& path) {
 }
 
 std::string canonical_scenario(const Scenario& s) {
-  // Full round trip: every option key, faults included, so
+  // Full round trip: every option key, faults and fabric included, so
   // parse(canonical(s)) == s for any s (fuzz-tested fixpoint).
-  return emit(s, "name", "faults.quantize");
+  return emit(s, "name", "fabric.faults-switch");
 }
 
 std::string canonical_campaign(const CampaignConfig& c) {
@@ -543,6 +574,14 @@ std::string canonical_training(const Scenario& s,
                                const std::string& method) {
   return canonical_dataset(s) + emit(s, "model.d-model", "train.seed") +
          "method = " + method + "\n";
+}
+
+std::string canonical_fabric(const Scenario& s) {
+  // Disabled fabric contributes nothing (single-switch scenarios key as
+  // before the fabric existed). fabric.faults-switch is excluded on
+  // purpose — see the header comment.
+  if (!s.fabric.enabled()) return "";
+  return emit(s, "fabric.leaves", "fabric.link-delay-ms");
 }
 
 }  // namespace fmnet::core

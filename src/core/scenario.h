@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "fabric/fabric.h"
 #include "faults/faults.h"
 #include "impute/cem.h"
 #include "impute/transformer_imputer.h"
@@ -60,6 +61,12 @@ struct Scenario {
   /// All-zero by default: the clean pipeline and its cache keys are
   /// byte-identical to a scenario with no faults.* keys at all.
   faults::FaultConfig faults;
+  /// Leaf–spine fabric topology (fabric/fabric.h). Disabled by default
+  /// (leaves == spines == 0): the scenario runs the classic single-switch
+  /// pipeline, and — like faults — contributes nothing to cache keys.
+  /// When enabled, campaign.ports is ignored (port counts come from the
+  /// topology) and the engine takes the per-switch sharded path.
+  fabric::FabricConfig fabric;
 
   Scenario();
 };
@@ -103,5 +110,13 @@ std::string canonical_training(const Scenario& s, const std::string& method);
 /// Canonical faults.* block — empty when fault injection is disabled, so
 /// clean scenarios hash exactly as they did before faults existed.
 std::string canonical_faults(const Scenario& s);
+
+/// Canonical fabric topology block — empty when the fabric is disabled
+/// (single-switch scenarios hash exactly as before the fabric existed).
+/// Deliberately excludes fabric.faults-switch: fault scoping affects which
+/// switches' *datasets* carry a faults block (see Engine fabric keys),
+/// never the coupled ground truth, so editing it must not invalidate
+/// per-switch campaigns or the datasets of unaffected switches.
+std::string canonical_fabric(const Scenario& s);
 
 }  // namespace fmnet::core

@@ -1,0 +1,290 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "traffic/sources.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fmnet::fabric {
+
+namespace {
+
+// Reserved derive_stream_seed stream for the ECMP hash family. Per-switch
+// traffic streams use stream == switch index, so any constant far above a
+// plausible switch count keeps the families independent.
+constexpr std::uint64_t kEcmpStream = 0x4d43'4550'4d43'4550ull;
+
+// Where a queued packet goes when its switch transmits it: the cable's far
+// end (next_sw, and the Arrival.dst_port to enqueue there), plus at most
+// one further hop (fwd_sw >= 0 only for leaf-uplink entries, whose far end
+// — the spine — forwards once more to the destination leaf).
+struct ShadowDesc {
+  std::int32_t next_sw = -1;  // -1: terminal, packet exits at this switch
+  std::int32_t next_port = 0;
+  std::int32_t fwd_sw = -1;
+  std::int32_t fwd_port = 0;
+};
+
+// One packet crossing a cable: the Arrival to apply at the far end, plus
+// the remaining hop (if any) to seed the far end's shadow FIFO.
+struct LinkArrival {
+  switchsim::Arrival a;
+  std::int32_t fwd_sw = -1;
+  std::int32_t fwd_port = 0;
+};
+
+// A transmit recorded during a chunk, delivered at the same offset of the
+// next chunk (the chunk length *is* the link delay).
+struct OutPacket {
+  std::int32_t off = 0;
+  std::int32_t cls = 0;
+  ShadowDesc d;
+};
+
+struct SwitchState {
+  explicit SwitchState(switchsim::SwitchConfig cfg)
+      : sw(std::move(cfg)), recorder(sw) {}
+
+  bool leaf = false;
+  std::int64_t index = 0;
+  switchsim::OutputQueuedSwitch sw;
+  switchsim::GroundTruthRecorder recorder;
+  std::unique_ptr<traffic::TrafficSource> source;  // leaves only
+  std::vector<std::deque<ShadowDesc>> shadow;      // per flat (port, class)
+  std::vector<std::vector<LinkArrival>> inbox_cur;   // [slot offset]
+  std::vector<std::vector<LinkArrival>> inbox_next;  // filled by delivery
+  std::vector<OutPacket> outbox;
+  // per-slot scratch (lives here so capacity persists across slots)
+  std::vector<switchsim::Arrival> arrivals;
+  std::vector<ShadowDesc> meta;  // parallel to arrivals
+  std::vector<switchsim::Arrival> host_buf;
+};
+
+}  // namespace
+
+bool is_leaf(const FabricConfig& f, std::int64_t index) {
+  FMNET_CHECK(index >= 0 && index < f.num_switches(),
+              "switch index out of range");
+  return index < f.leaves;
+}
+
+std::string switch_name(const FabricConfig& f, std::int64_t index) {
+  return is_leaf(f, index) ? "leaf" + std::to_string(index)
+                           : "spine" + std::to_string(index - f.leaves);
+}
+
+std::int32_t leaf_num_ports(const FabricConfig& f) {
+  return static_cast<std::int32_t>(f.hosts_per_leaf +
+                                   f.spines * f.link_capacity);
+}
+
+std::int32_t spine_num_ports(const FabricConfig& f) {
+  return static_cast<std::int32_t>(f.leaves * f.link_capacity);
+}
+
+std::int32_t leaf_uplink_port(const FabricConfig& f, std::int64_t spine,
+                              std::int64_t cable) {
+  FMNET_CHECK(spine >= 0 && spine < f.spines, "spine out of range");
+  FMNET_CHECK(cable >= 0 && cable < f.link_capacity, "cable out of range");
+  return static_cast<std::int32_t>(f.hosts_per_leaf +
+                                   spine * f.link_capacity + cable);
+}
+
+std::int32_t spine_downlink_port(const FabricConfig& f, std::int64_t leaf,
+                                 std::int64_t cable) {
+  FMNET_CHECK(leaf >= 0 && leaf < f.leaves, "leaf out of range");
+  FMNET_CHECK(cable >= 0 && cable < f.link_capacity, "cable out of range");
+  return static_cast<std::int32_t>(leaf * f.link_capacity + cable);
+}
+
+std::int32_t switch_num_ports(const FabricConfig& f, std::int64_t index) {
+  return is_leaf(f, index) ? leaf_num_ports(f) : spine_num_ports(f);
+}
+
+std::uint64_t ecmp_seed_from(std::uint64_t campaign_seed) {
+  return derive_stream_seed(campaign_seed, kEcmpStream);
+}
+
+EcmpChoice ecmp_route(const FabricConfig& f, std::uint64_t ecmp_seed,
+                      std::int64_t src_leaf, std::int64_t dst_host,
+                      std::int32_t queue_class) {
+  std::uint64_t h = derive_stream_seed(
+      derive_stream_seed(
+          derive_stream_seed(ecmp_seed, static_cast<std::uint64_t>(src_leaf)),
+          static_cast<std::uint64_t>(dst_host)),
+      static_cast<std::uint64_t>(queue_class));
+  EcmpChoice r;
+  r.spine = static_cast<std::int64_t>(h % static_cast<std::uint64_t>(f.spines));
+  h /= static_cast<std::uint64_t>(f.spines);
+  r.up_cable =
+      static_cast<std::int64_t>(h % static_cast<std::uint64_t>(f.link_capacity));
+  h /= static_cast<std::uint64_t>(f.link_capacity);
+  r.down_cable =
+      static_cast<std::int64_t>(h % static_cast<std::uint64_t>(f.link_capacity));
+  return r;
+}
+
+std::vector<SwitchGroundTruth> simulate_fabric(const FabricParams& p,
+                                               util::ThreadPool* pool) {
+  const FabricConfig& f = p.topo;
+  FMNET_CHECK(f.enabled(), "fabric requires leaves > 0 and spines > 0");
+  FMNET_CHECK_GT(f.hosts_per_leaf, 0);
+  FMNET_CHECK_GT(f.link_capacity, 0);
+  FMNET_CHECK_GT(f.link_delay_ms, 0);
+  FMNET_CHECK_GT(p.buffer_size, 0);
+  FMNET_CHECK_GT(p.slots_per_ms, 0);
+  FMNET_CHECK_GT(p.total_ms, 0);
+
+  obs::ScopedSpan span("fabric.simulate");
+  util::ThreadPool& tp = util::ThreadPool::resolve(pool);
+
+  const std::int64_t n = f.num_switches();
+  const std::int64_t chunk =
+      f.link_delay_ms * static_cast<std::int64_t>(p.slots_per_ms);
+  const std::int64_t total_slots =
+      p.total_ms * static_cast<std::int64_t>(p.slots_per_ms);
+  const std::uint64_t ecmp_seed = ecmp_seed_from(p.seed);
+  constexpr std::int32_t kClasses = 2;  // the paper's two traffic classes
+
+  std::vector<std::unique_ptr<SwitchState>> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    switchsim::SwitchConfig cfg;
+    cfg.num_ports = switch_num_ports(f, i);
+    cfg.queues_per_port = kClasses;
+    cfg.buffer_size = p.buffer_size;
+    cfg.alpha = {1.0, 0.5};
+    cfg.scheduler = p.scheduler;
+    cfg.slots_per_ms = p.slots_per_ms;
+    auto st = std::make_unique<SwitchState>(std::move(cfg));
+    st->leaf = is_leaf(f, i);
+    st->index = i;
+    if (st->leaf) {
+      st->source = traffic::make_scaled_paper_workload(
+          static_cast<std::int32_t>(f.total_hosts()),
+          static_cast<std::int32_t>(f.hosts_per_leaf),
+          derive_stream_seed(p.seed, static_cast<std::uint64_t>(i)));
+    }
+    st->shadow.assign(
+        static_cast<std::size_t>(st->sw.config().num_ports * kClasses), {});
+    st->inbox_cur.assign(static_cast<std::size_t>(chunk), {});
+    st->inbox_next.assign(static_cast<std::size_t>(chunk), {});
+    states.push_back(std::move(st));
+  }
+
+  obs::Registry::global().counter("fabric.switches").add(n);
+  obs::Counter& chunks_counter = obs::Registry::global().counter("fabric.chunks");
+  obs::Counter& link_counter =
+      obs::Registry::global().counter("fabric.link.delivered");
+
+  // One switch, one chunk: consume the inbox, generate host traffic, step,
+  // maintain shadow FIFOs, append transmits to the outbox. Touches only
+  // this switch's state — the parallel_for below is free of sharing.
+  const auto run_chunk = [&](std::int64_t i, std::int64_t t0,
+                             std::int64_t len) {
+    SwitchState& st = *states[static_cast<std::size_t>(i)];
+    st.outbox.clear();
+    const std::int32_t num_ports = st.sw.config().num_ports;
+    const std::int32_t first_fwd =
+        st.leaf ? static_cast<std::int32_t>(f.hosts_per_leaf) : 0;
+    for (std::int64_t off = 0; off < len; ++off) {
+      st.arrivals.clear();
+      st.meta.clear();
+      // Link arrivals first (in fixed delivery order), then host arrivals.
+      for (const LinkArrival& la : st.inbox_cur[static_cast<std::size_t>(off)]) {
+        st.arrivals.push_back(la.a);
+        ShadowDesc d;
+        if (la.fwd_sw >= 0) {
+          d.next_sw = la.fwd_sw;
+          d.next_port = la.fwd_port;
+        }
+        st.meta.push_back(d);
+      }
+      if (st.leaf) {
+        st.host_buf.clear();
+        st.source->generate(t0 + off, st.host_buf);
+        for (const auto& ha : st.host_buf) {
+          const std::int64_t dst = ha.dst_port;  // global host id
+          const std::int64_t dst_leaf = dst / f.hosts_per_leaf;
+          const std::int32_t dst_local =
+              static_cast<std::int32_t>(dst % f.hosts_per_leaf);
+          if (dst_leaf == st.index) {
+            st.arrivals.push_back({dst_local, ha.queue_class});
+            st.meta.push_back({});
+          } else {
+            const EcmpChoice r =
+                ecmp_route(f, ecmp_seed, st.index, dst, ha.queue_class);
+            st.arrivals.push_back(
+                {leaf_uplink_port(f, r.spine, r.up_cable), ha.queue_class});
+            st.meta.push_back(
+                {static_cast<std::int32_t>(f.leaves + r.spine),
+                 spine_downlink_port(f, dst_leaf, r.down_cable),
+                 static_cast<std::int32_t>(dst_leaf), dst_local});
+          }
+        }
+      }
+      st.sw.step(st.arrivals);
+      const auto& adm = st.sw.last_admitted();
+      for (std::size_t ai = 0; ai < st.arrivals.size(); ++ai) {
+        if (adm[ai] != 0 && st.meta[ai].next_sw >= 0) {
+          const auto q = static_cast<std::size_t>(
+              st.arrivals[ai].dst_port * kClasses + st.arrivals[ai].queue_class);
+          st.shadow[q].push_back(st.meta[ai]);
+        }
+      }
+      st.recorder.on_slot();
+      for (std::int32_t pt = first_fwd; pt < num_ports; ++pt) {
+        const std::int32_t c = st.sw.last_tx_class(pt);
+        if (c < 0) continue;
+        auto& q = st.shadow[static_cast<std::size_t>(pt * kClasses + c)];
+        FMNET_CHECK(!q.empty(), "fabric shadow FIFO underrun");
+        st.outbox.push_back({static_cast<std::int32_t>(off), c, q.front()});
+        q.pop_front();
+      }
+    }
+  };
+
+  for (std::int64_t t0 = 0; t0 < total_slots; t0 += chunk) {
+    const std::int64_t len = std::min(chunk, total_slots - t0);
+    tp.parallel_for(0, n,
+                    [&](std::int64_t i) { run_chunk(i, t0, len); });
+    // Barrier reached: deliver every outbox in fixed switch order so each
+    // destination slot sees link arrivals in a thread-count-independent
+    // order. Transmits of the final (possibly partial) chunk land beyond
+    // the horizon and are dropped with the in-flight packets.
+    std::int64_t delivered = 0;
+    for (const auto& src : states) {
+      for (const OutPacket& op : src->outbox) {
+        auto& dst = *states[static_cast<std::size_t>(op.d.next_sw)];
+        dst.inbox_next[static_cast<std::size_t>(op.off)].push_back(
+            {{op.d.next_port, op.cls}, op.d.fwd_sw, op.d.fwd_port});
+        ++delivered;
+      }
+    }
+    for (const auto& st : states) {
+      std::swap(st->inbox_cur, st->inbox_next);
+      for (auto& v : st->inbox_next) v.clear();
+    }
+    chunks_counter.add(1);
+    link_counter.add(delivered);
+  }
+
+  std::vector<SwitchGroundTruth> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    SwitchGroundTruth g;
+    g.name = switch_name(f, i);
+    g.config = states[static_cast<std::size_t>(i)]->sw.config();
+    g.gt = states[static_cast<std::size_t>(i)]->recorder.finish();
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace fmnet::fabric

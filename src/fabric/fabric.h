@@ -1,0 +1,139 @@
+// Leaf–spine fabric: N coupled OutputQueuedSwitch instances under one
+// scenario, so cross-switch congestion (a leaf's uplink backlog spilling
+// into a spine's downlink queue, remote incast landing on a victim leaf)
+// appears in the ground truth — the fleet-scale setting the paper's
+// imputation vision targets, not a single isolated switch.
+//
+// Topology. `leaves` leaf switches, each with `hosts_per_leaf` host-facing
+// ports, fully meshed to `spines` spine switches by `link_capacity`
+// parallel cables per (leaf, spine) pair. A cable is full duplex: the
+// leaf's uplink port transmits toward the spine, and the spine's matching
+// downlink port transmits back toward the leaf. A packet from a host on
+// leaf A to a host on leaf B takes A's uplink queue, then (after the link
+// delay) the spine's downlink queue, then (after the delay again) B's
+// host-facing queue.
+//
+// ECMP-ish flow placement. The (spine, cable) a flow rides is a pure hash
+// of (source leaf, destination host, traffic class) over a seed stream
+// derived from the campaign seed — flow-coherent (every packet of a
+// leaf→host class takes one path), load-spreading, and bit-reproducible.
+//
+// Coupled simulation without lock-step. The only inter-switch interaction
+// is delayed packet hand-off, so time is advanced in chunks of exactly the
+// link delay: within a chunk every switch steps independently (parallel
+// over util::ThreadPool — any packet transmitted in chunk k arrives in
+// chunk k+1 by construction), then outboxes are delivered to inboxes in
+// fixed switch order. Per-switch state is touched only by its own task, so
+// the result is bit-identical at any lane count.
+//
+// The switch model is a counting model (queues hold lengths, not packet
+// identities), so the fabric layer keeps one shadow FIFO per forwarding
+// (port, class): descriptors are pushed in admission order
+// (OutputQueuedSwitch::last_admitted) and popped at transmit time
+// (last_tx_class) — exact, because the modelled queues are FIFO per
+// (port, class).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "switchsim/recorder.h"
+#include "switchsim/switch.h"
+#include "util/thread_pool.h"
+
+namespace fmnet::fabric {
+
+/// Static fabric topology, as described by the `fabric.*` scenario keys.
+/// Default-constructed (leaves == spines == 0) means "no fabric": the
+/// scenario runs the classic single-switch pipeline.
+struct FabricConfig {
+  std::int64_t leaves = 0;
+  std::int64_t spines = 0;
+  /// Host-facing ports per leaf.
+  std::int64_t hosts_per_leaf = 4;
+  /// Parallel cables per (leaf, spine) pair.
+  std::int64_t link_capacity = 1;
+  /// One-way propagation delay of every cable, in milliseconds (also the
+  /// simulation chunk size).
+  std::int64_t link_delay_ms = 1;
+  /// Fault-injection scoping: -1 applies the scenario's faults.* block to
+  /// every switch (each with its own derived fault seed); k >= 0 degrades
+  /// only switch k's telemetry. Affects datasets, never the ground truth.
+  std::int64_t faults_switch = -1;
+
+  bool enabled() const { return leaves > 0 && spines > 0; }
+  std::int64_t num_switches() const { return leaves + spines; }
+  std::int64_t total_hosts() const { return leaves * hosts_per_leaf; }
+};
+
+/// Switch indexing: leaves first (0..leaves-1), then spines.
+bool is_leaf(const FabricConfig& f, std::int64_t index);
+
+/// "leaf<k>" / "spine<k>" — stable names used in cache keys and output.
+std::string switch_name(const FabricConfig& f, std::int64_t index);
+
+/// Leaf port layout: [0, hosts_per_leaf) face hosts; uplink cable c to
+/// spine s is port hosts_per_leaf + s*link_capacity + c.
+std::int32_t leaf_num_ports(const FabricConfig& f);
+std::int32_t leaf_uplink_port(const FabricConfig& f, std::int64_t spine,
+                              std::int64_t cable);
+
+/// Spine port layout: downlink cable c to leaf l is port
+/// l*link_capacity + c.
+std::int32_t spine_num_ports(const FabricConfig& f);
+std::int32_t spine_downlink_port(const FabricConfig& f, std::int64_t leaf,
+                                 std::int64_t cable);
+
+std::int32_t switch_num_ports(const FabricConfig& f, std::int64_t index);
+
+/// ECMP path of one (source leaf, destination host, class) flow.
+struct EcmpChoice {
+  std::int64_t spine = 0;
+  std::int64_t up_cable = 0;    // cable src_leaf -> spine
+  std::int64_t down_cable = 0;  // cable spine -> dst_leaf
+};
+
+/// Hash-based flow placement over a deterministic seed stream: a pure
+/// function of (ecmp_seed, src_leaf, dst_host, queue_class), uniform-ish
+/// across spines and cables. `ecmp_seed` comes from
+/// ecmp_seed_from(campaign seed).
+EcmpChoice ecmp_route(const FabricConfig& f, std::uint64_t ecmp_seed,
+                      std::int64_t src_leaf, std::int64_t dst_host,
+                      std::int32_t queue_class);
+
+/// The fabric's ECMP seed stream, derived from the campaign seed at a
+/// reserved stream index that cannot collide with per-switch traffic
+/// streams (which use stream == switch index).
+std::uint64_t ecmp_seed_from(std::uint64_t campaign_seed);
+
+/// Everything simulate_fabric needs: topology plus the per-switch
+/// simulation parameters shared by all switches.
+struct FabricParams {
+  FabricConfig topo;
+  std::int64_t buffer_size = 600;
+  std::int32_t slots_per_ms = 90;
+  std::int64_t total_ms = 10'000;
+  std::uint64_t seed = 42;
+  switchsim::SchedulerType scheduler = switchsim::SchedulerType::kRoundRobin;
+};
+
+/// Ground truth of one switch of a fabric run.
+struct SwitchGroundTruth {
+  std::string name;
+  switchsim::SwitchConfig config;
+  switchsim::GroundTruth gt;
+};
+
+/// Simulates the coupled fabric and returns per-switch ground truth in
+/// switch-index order (leaves first). Each leaf's hosts emit the paper
+/// workload over the *global* host space (scaled to per-leaf intensity,
+/// seeded derive_stream_seed(seed, leaf_index)); remote packets traverse
+/// uplink → spine → destination leaf with `link_delay_ms` per hop.
+/// Parallel over `pool` (null = global pool); bit-identical at any lane
+/// count.
+std::vector<SwitchGroundTruth> simulate_fabric(const FabricParams& p,
+                                               util::ThreadPool* pool =
+                                                   nullptr);
+
+}  // namespace fmnet::fabric

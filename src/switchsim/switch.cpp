@@ -29,6 +29,7 @@ OutputQueuedSwitch::OutputQueuedSwitch(SwitchConfig config)
   wrr_credit_.assign(config_.num_ports, 0);
   slot_.assign(config_.num_ports, {});
   totals_.assign(config_.num_ports, {});
+  last_tx_.assign(config_.num_ports, -1);
 }
 
 std::int32_t OutputQueuedSwitch::queue_index(std::int32_t port,
@@ -120,15 +121,20 @@ void OutputQueuedSwitch::transmit() {
       ++slot_[p].sent;
       ++totals_[p].sent;
     }
+    last_tx_[p] = chosen;
   }
 }
 
 void OutputQueuedSwitch::step(const std::vector<Arrival>& arrivals) {
   for (auto& s : slot_) s = {};
-  for (const Arrival& a : arrivals) {
+  last_admitted_.assign(arrivals.size(), 0);
+  for (std::size_t ai = 0; ai < arrivals.size(); ++ai) {
+    const Arrival& a = arrivals[ai];
     ++slot_[a.dst_port].received;
     ++totals_[a.dst_port].received;
-    if (!admit(a)) {
+    if (admit(a)) {
+      last_admitted_[ai] = 1;
+    } else {
       ++slot_[a.dst_port].dropped;
       ++totals_[a.dst_port].dropped;
       ++queue_drops_[queue_index(a.dst_port, a.queue_class)];
@@ -136,6 +142,11 @@ void OutputQueuedSwitch::step(const std::vector<Arrival>& arrivals) {
   }
   transmit();
   ++slots_elapsed_;
+}
+
+std::int32_t OutputQueuedSwitch::last_tx_class(std::int32_t port) const {
+  FMNET_CHECK(port >= 0 && port < config_.num_ports, "port out of range");
+  return last_tx_[port];
 }
 
 std::int64_t OutputQueuedSwitch::total_received(std::int32_t port) const {

@@ -93,6 +93,19 @@ class OutputQueuedSwitch {
   /// Counters for the most recent slot.
   const std::vector<SlotPortCounters>& last_slot() const { return slot_; }
 
+  /// Per-arrival admission outcome of the most recent step(), in arrival
+  /// order (1 = admitted). Queues are FIFO per (port, class), so a caller
+  /// that records admitted packets in this order can replay packet
+  /// identities at transmit time — the fabric coupling layer does exactly
+  /// that with shadow FIFOs.
+  const std::vector<std::uint8_t>& last_admitted() const {
+    return last_admitted_;
+  }
+
+  /// Queue class transmitted by `port` in the most recent slot, or -1 if
+  /// the port was idle.
+  std::int32_t last_tx_class(std::int32_t port) const;
+
   // ---- cumulative counters (never reset) ----------------------------------
 
   std::int64_t total_received(std::int32_t port) const;
@@ -113,6 +126,8 @@ class OutputQueuedSwitch {
   std::vector<std::int32_t> wrr_credit_;    // per port: slots left in turn
   std::vector<SlotPortCounters> slot_;
   std::vector<SlotPortCounters> totals_;
+  std::vector<std::uint8_t> last_admitted_;  // per arrival of last step()
+  std::vector<std::int32_t> last_tx_;        // per port, -1 = idle
   std::int64_t slots_elapsed_ = 0;
 };
 

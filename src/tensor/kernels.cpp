@@ -7,6 +7,10 @@
 #include <limits>
 #include <vector>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "tensor/activations.h"
 #include "tensor/pool.h"
 #include "util/check.h"
@@ -66,6 +70,30 @@ namespace avx512 {
 #pragma GCC pop_options
 #endif
 
+// The VNNI clone exists for its integer-domain quantised linear
+// (kernels_quant_vnni.inc); the float kernels are the same source compiled
+// with VNNI merely enabled. Requires the intrinsics, hence GCC-only like
+// the other clones.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__AVX512VNNI__)
+#define FMNET_GEMM_AVX512VNNI_CLONE 1
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx512vl,avx512bw,avx512dq,avx512vnni,avx2,fma")
+// _mm512_undefined_ps inside _mm512_cvtepi32_ps trips GCC's
+// -Wmaybe-uninitialized (the intrinsics header's deliberate `__Y = __Y`).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+namespace avx512vnni {
+#include "tensor/kernels_elementwise.inc"
+#include "tensor/kernels_panel.inc"
+#include "tensor/kernels_quant.inc"
+#include "tensor/kernels_quant_vnni.inc"
+#include "tensor/kernels_skinny.inc"
+}  // namespace avx512vnni
+#pragma GCC diagnostic pop
+#pragma GCC pop_options
+#endif
+
 using PanelFn = void (*)(const float*, std::int64_t, std::int64_t,
                          const float*, float*, std::int64_t, std::int64_t,
                          std::int64_t, bool);
@@ -89,6 +117,10 @@ PanelFn fn_for(Isa isa) {
     case Isa::kAvx512:
       return avx512::panel_update;
 #endif
+#ifdef FMNET_GEMM_AVX512VNNI_CLONE
+    case Isa::kAvx512Vnni:
+      return avx512vnni::panel_update;
+#endif
     default:
       return baseline::panel_update;
   }
@@ -103,6 +135,10 @@ SkinnyFn skinny_fn_for(Isa isa) {
 #ifdef FMNET_GEMM_AVX512_CLONE
     case Isa::kAvx512:
       return avx512::skinny_run;
+#endif
+#ifdef FMNET_GEMM_AVX512VNNI_CLONE
+    case Isa::kAvx512Vnni:
+      return avx512vnni::skinny_run;
 #endif
     default:
       return baseline::skinny_run;
@@ -119,6 +155,10 @@ QuantLinearFn quant_linear_fn_for(Isa isa) {
     case Isa::kAvx512:
       return avx512::quant_linear_rows_impl;
 #endif
+#ifdef FMNET_GEMM_AVX512VNNI_CLONE
+    case Isa::kAvx512Vnni:
+      return avx512vnni::quant_linear_rows_vnni_impl;
+#endif
     default:
       return baseline::quant_linear_rows_impl;
   }
@@ -134,6 +174,10 @@ SoftmaxFn softmax_fn_for(Isa isa) {
     case Isa::kAvx512:
       return avx512::softmax_rows_impl;
 #endif
+#ifdef FMNET_GEMM_AVX512VNNI_CLONE
+    case Isa::kAvx512Vnni:
+      return avx512vnni::softmax_rows_impl;
+#endif
     default:
       return baseline::softmax_rows_impl;
   }
@@ -148,6 +192,10 @@ GeluFn gelu_fn_for(Isa isa) {
 #ifdef FMNET_GEMM_AVX512_CLONE
     case Isa::kAvx512:
       return avx512::gelu_rows_impl;
+#endif
+#ifdef FMNET_GEMM_AVX512VNNI_CLONE
+    case Isa::kAvx512Vnni:
+      return avx512vnni::gelu_rows_impl;
 #endif
     default:
       return baseline::gelu_rows_impl;
@@ -171,6 +219,16 @@ bool cpu_executes(Isa isa) {
 #else
       return false;
 #endif
+    case Isa::kAvx512Vnni:
+#if defined(__x86_64__) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx512vnni") &&
+             __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
   }
   return false;
 }
@@ -178,7 +236,8 @@ bool cpu_executes(Isa isa) {
 Isa resolve_initial() {
   const char* env = std::getenv("FMNET_KERNEL_ISA");
   if (env != nullptr) {
-    for (const Isa pin : {Isa::kPortable, Isa::kAvx2, Isa::kAvx512}) {
+    for (const Isa pin :
+         {Isa::kPortable, Isa::kAvx2, Isa::kAvx512, Isa::kAvx512Vnni}) {
       if (std::strcmp(env, isa_name(pin)) == 0 && isa_supported(pin)) {
         return pin;
       }
@@ -311,6 +370,8 @@ const char* isa_name(Isa isa) {
       return "avx2";
     case Isa::kAvx512:
       return "avx512";
+    case Isa::kAvx512Vnni:
+      return "avx512vnni";
   }
   return "unknown";
 }
@@ -322,6 +383,9 @@ std::vector<Isa> compiled_isas() {
 #endif
 #ifdef FMNET_GEMM_AVX512_CLONE
   out.push_back(Isa::kAvx512);
+#endif
+#ifdef FMNET_GEMM_AVX512VNNI_CLONE
+  out.push_back(Isa::kAvx512Vnni);
 #endif
   return out;
 }

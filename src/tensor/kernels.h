@@ -54,14 +54,20 @@ class ThreadPool;
 namespace fmnet::tensor::kernels {
 
 /// Instruction-set variants of the panel kernel. kPortable is whatever the
-/// build baseline targets; kAvx2 / kAvx512 are runtime-dispatched clones
-/// compiled on x86-64 GCC builds whose baseline lacks them. FMA contracts
-/// a*b+c into one rounding, so variants may differ from each other (and
-/// from the references) in the last ulp — each variant is individually
-/// bit-deterministic at any lane count.
-enum class Isa { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
+/// build baseline targets; kAvx2 / kAvx512 / kAvx512Vnni are
+/// runtime-dispatched clones compiled on x86-64 GCC builds whose baseline
+/// lacks them. FMA contracts a*b+c into one rounding, so variants may
+/// differ from each other (and from the references) in the last ulp —
+/// each variant is individually bit-deterministic at any lane count. The
+/// quantised linear is tighter: its MAC is exact integer arithmetic for
+/// k <= kQuantExactMacK on every variant (including the VNNI
+/// integer-domain kernel), so variants can differ only in the final
+/// dequant rounding (FMA-contracted on the clones, two roundings on a
+/// non-FMA baseline).
+enum class Isa { kPortable = 0, kAvx2 = 1, kAvx512 = 2, kAvx512Vnni = 3 };
 
-/// "portable" / "avx2" / "avx512" — the FMNET_KERNEL_ISA spellings.
+/// "portable" / "avx2" / "avx512" / "avx512vnni" — the FMNET_KERNEL_ISA
+/// spellings.
 const char* isa_name(Isa isa);
 
 /// Variants compiled into this binary (always includes kPortable; clones

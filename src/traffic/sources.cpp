@@ -117,6 +117,13 @@ void CompositeSource::generate(std::int64_t slot, std::vector<Arrival>& out) {
 
 std::unique_ptr<TrafficSource> make_paper_workload(std::int32_t num_ports,
                                                    std::uint64_t seed) {
+  return make_scaled_paper_workload(num_ports, num_ports, seed);
+}
+
+std::unique_ptr<TrafficSource> make_scaled_paper_workload(
+    std::int32_t num_dsts, std::int32_t intensity_ports, std::uint64_t seed) {
+  FMNET_CHECK_GT(num_dsts, 0);
+  FMNET_CHECK_GT(intensity_ports, 0);
   fmnet::Rng master(seed);
   auto composite = std::make_unique<CompositeSource>();
   WebsearchConfig ws;
@@ -125,19 +132,20 @@ std::unique_ptr<TrafficSource> make_paper_workload(std::int32_t num_ports,
   // incast, as in the ABM scenario. Sub-line-rate senders stretch flows
   // over longer episodes, which is what makes queue build-ups last tens of
   // milliseconds rather than isolated spikes.
-  ws.flow_rate = 0.0045 * static_cast<double>(num_ports);
+  ws.flow_rate = 0.0045 * static_cast<double>(intensity_ports);
   ws.emit_prob = 0.5;
   composite->add(
-      std::make_unique<WebsearchSource>(ws, num_ports, master.fork()));
+      std::make_unique<WebsearchSource>(ws, num_dsts, master.fork()));
   IncastConfig in;
-  in.event_rate = 3.0e-5 * static_cast<double>(num_ports);
+  in.event_rate = 3.0e-5 * static_cast<double>(intensity_ports);
   in.fan_in = 16;
   in.pkts_per_sender = 180;
   in.emit_prob = 0.35;
   composite->add(
-      std::make_unique<IncastSource>(in, num_ports, master.fork()));
+      std::make_unique<IncastSource>(in, num_dsts, master.fork()));
   composite->add(std::make_unique<PoissonSource>(
-      0.05 * static_cast<double>(num_ports), num_ports, 0, master.fork()));
+      0.05 * static_cast<double>(intensity_ports), num_dsts, 0,
+      master.fork()));
   return composite;
 }
 

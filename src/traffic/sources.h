@@ -154,4 +154,14 @@ class CompositeSource : public TrafficSource {
 std::unique_ptr<TrafficSource> make_paper_workload(std::int32_t num_ports,
                                                    std::uint64_t seed);
 
+/// As make_paper_workload, but decouples the destination space from the
+/// offered load: arrivals target `num_dsts` uniformly-chosen destinations
+/// while rates are scaled as if the switch had `intensity_ports` ports.
+/// The fabric layer uses this to let one leaf's hosts address every host
+/// in the fabric without multiplying the per-leaf load by the leaf count.
+/// make_paper_workload(n, seed) == make_scaled_paper_workload(n, n, seed)
+/// bit-for-bit.
+std::unique_ptr<TrafficSource> make_scaled_paper_workload(
+    std::int32_t num_dsts, std::int32_t intensity_ports, std::uint64_t seed);
+
 }  // namespace fmnet::traffic

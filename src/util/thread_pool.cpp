@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -8,9 +9,14 @@
 namespace fmnet::util {
 
 namespace {
-// True while the current thread is executing inside a parallel region;
-// nested regions detect this and run inline instead of deadlocking on the
-// queue (and so that lane ids stay exclusive to one region at a time).
+// True while the current thread is executing inside a parallel region.
+// Nested regions detect this and switch to the caller-participating inner
+// path: the nested caller drains its own indices (so it can never block on
+// a queue slot held by its own region — no deadlock), and only *idle*
+// workers are recruited as helper lanes (no oversubscription: the OS
+// thread count never exceeds the pool size). Lane ids stay exclusive
+// within each region, which is all the parallel_for_lane contract
+// promises — per-lane scratch is per-region state.
 thread_local bool t_in_pool_task = false;
 
 std::int64_t now_ns() {
@@ -102,7 +108,9 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     {
       const std::int64_t w0 = now_ns();
       std::unique_lock<std::mutex> lock(mu_);
+      idle_workers_.fetch_add(1, std::memory_order_relaxed);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      idle_workers_.fetch_sub(1, std::memory_order_relaxed);
       lc.idle_ns.fetch_add(now_ns() - w0, std::memory_order_relaxed);
       if (tasks_.empty()) return;  // stopping
       task = std::move(tasks_.front());
@@ -124,15 +132,39 @@ void ThreadPool::parallel_for_lane(
         body(lane, begin + i);
       };
 
-  // Inline when there is nothing to fan out to, or when nested inside
-  // another region: lane 0 is then the caller's exclusive lane.
-  if (num_threads_ == 1 || n == 1 || t_in_pool_task) {
+  // How many helper lanes to recruit. Top-level regions take every worker;
+  // nested regions (called from inside another region's body) only recruit
+  // workers that are idle *right now* — a busy worker is draining some
+  // other region and would only pick the task up after, so enqueueing for
+  // it is pure queue churn. The idle count is advisory (a worker may wake
+  // or block between the load and the enqueue); a stale helper task claims
+  // an index >= end and exits, so the race is harmless. Helper count only
+  // affects which thread computes which index, never the per-index
+  // results, so outputs stay bit-identical at any lane count — the
+  // determinism contract.
+  const bool nested = t_in_pool_task;
+  std::size_t max_helpers = workers_.size();
+  if (nested) {
+    const std::int64_t idle = idle_workers_.load(std::memory_order_relaxed);
+    max_helpers = std::min<std::size_t>(
+        max_helpers, idle > 0 ? static_cast<std::size_t>(idle) : 0);
+  }
+  const std::size_t helpers =
+      std::min<std::size_t>(max_helpers, static_cast<std::size_t>(n - 1));
+
+  // Inline when there is nothing to fan out to: a pool of one, a single
+  // index, or a nested region with every worker busy. Lane 0 is then the
+  // caller's exclusive lane.
+  if (num_threads_ == 1 || n == 1 || helpers == 0) {
+    const bool was_in_task = t_in_pool_task;
+    t_in_pool_task = true;
     const std::int64_t t0 = now_ns();
     for (std::int64_t i = 0; i < n; ++i) shifted(0, i);
     LaneCounters& lc = lane_counters_[0];
     lc.tasks.fetch_add(n, std::memory_order_relaxed);
     lc.regions.fetch_add(1, std::memory_order_relaxed);
     lc.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    t_in_pool_task = was_in_task;
     return;
   }
 
@@ -141,8 +173,6 @@ void ThreadPool::parallel_for_lane(
   state->body = &shifted;
   state->lanes = lane_counters_.get();
 
-  const std::size_t helpers =
-      std::min<std::size_t>(workers_.size(), static_cast<std::size_t>(n - 1));
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t h = 0; h < helpers; ++h) {
@@ -151,11 +181,14 @@ void ThreadPool::parallel_for_lane(
   }
   task_ready_.notify_all();
 
-  // The caller participates as lane 0 (marked as in-region so nested
-  // parallel calls inline), then waits for straggler lanes.
+  // The caller participates as lane 0 (marked as in-region so the nested
+  // path above engages for deeper calls), then waits for straggler lanes.
+  // Save/restore rather than set/clear: a nested caller must leave the
+  // outer region's flag intact.
+  const bool was_in_task = t_in_pool_task;
   t_in_pool_task = true;
   state->run_lane(0);
-  t_in_pool_task = false;
+  t_in_pool_task = was_in_task;
   {
     const std::int64_t w0 = now_ns();
     std::unique_lock<std::mutex> lock(state->done_mu);

@@ -63,15 +63,26 @@ class ThreadPool {
   /// return. Indices are claimed dynamically, so the assignment of index to
   /// thread is nondeterministic — bodies must write only to per-index state.
   /// The first exception thrown by any body is rethrown on the caller.
-  /// Nested calls from inside a body execute inline (serially).
+  ///
+  /// Nesting: a call from inside a body neither deadlocks nor
+  /// oversubscribes. The nested caller participates as an inner lane and
+  /// drains its own region's indices, so it never waits on a queue slot;
+  /// workers that are idle at that moment are recruited as extra inner
+  /// lanes, and busy workers are left alone — the OS thread count never
+  /// exceeds size(). With every worker busy the nested region simply runs
+  /// inline on the caller. Which threads help only moves indices between
+  /// lanes, so results stay bit-identical at any lane count.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t)>& body);
 
   /// As parallel_for, but the body also receives a lane id in
   /// [0, size()) that is exclusive for the duration of each call — use it
-  /// to index per-lane scratch state (e.g. model replicas). Lane->index
-  /// assignment is nondeterministic; determinism must come from per-index
-  /// results, not from which lane computed them.
+  /// to index per-lane scratch state (e.g. model replicas). Exclusivity is
+  /// per region: two concurrently-running nested regions may each hand out
+  /// the same lane id, so lane-indexed scratch must belong to the region
+  /// (allocated per call), never to the pool. Lane->index assignment is
+  /// nondeterministic; determinism must come from per-index results, not
+  /// from which lane computed them.
   void parallel_for_lane(
       std::int64_t begin, std::int64_t end,
       const std::function<void(std::size_t lane, std::int64_t i)>& body);
@@ -116,6 +127,10 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::deque<std::function<void()>> tasks_;
   bool stopping_ = false;
+  /// Workers currently blocked on the task queue — the advisory budget a
+  /// nested parallel region may recruit without oversubscribing (see
+  /// parallel_for_lane in the .cpp).
+  std::atomic<std::int64_t> idle_workers_{0};
 };
 
 /// Runs fn(i) for i in [0, n), collecting the returned values in index

@@ -1,0 +1,324 @@
+// Fabric layer: topology/ECMP invariants, bit-identity of the coupled
+// simulation and of the per-switch engine phase across lane counts, and
+// per-switch artifact-cache granularity (a warm run recomputes exactly the
+// switches whose per-switch config hash changed).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/engine.h"
+#include "core/evaluation.h"
+#include "core/scenario.h"
+#include "fabric/fabric.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace fmnet {
+namespace {
+
+namespace fs = std::filesystem;
+
+fabric::FabricParams tiny_params() {
+  fabric::FabricParams p;
+  p.topo.leaves = 3;
+  p.topo.spines = 2;
+  p.topo.hosts_per_leaf = 3;
+  p.topo.link_capacity = 1;
+  p.topo.link_delay_ms = 1;
+  p.buffer_size = 120;
+  p.slots_per_ms = 10;
+  p.total_ms = 120;
+  p.seed = 11;
+  return p;
+}
+
+void expect_gt_equal(const switchsim::GroundTruth& a,
+                     const switchsim::GroundTruth& b, const std::string& who) {
+  ASSERT_EQ(a.queue_len.size(), b.queue_len.size()) << who;
+  ASSERT_EQ(a.port_sent.size(), b.port_sent.size()) << who;
+  for (std::size_t q = 0; q < a.queue_len.size(); ++q) {
+    EXPECT_EQ(a.queue_len[q].values(), b.queue_len[q].values())
+        << who << " queue " << q;
+    EXPECT_EQ(a.queue_len_max[q].values(), b.queue_len_max[q].values())
+        << who << " queue " << q;
+  }
+  for (std::size_t p = 0; p < a.port_sent.size(); ++p) {
+    EXPECT_EQ(a.port_sent[p].values(), b.port_sent[p].values())
+        << who << " port " << p;
+    EXPECT_EQ(a.port_dropped[p].values(), b.port_dropped[p].values())
+        << who << " port " << p;
+    EXPECT_EQ(a.port_received[p].values(), b.port_received[p].values())
+        << who << " port " << p;
+  }
+}
+
+/// A fabric scenario small enough that the full per-switch phase (prepare
+/// + fit + evaluate for every switch) runs in well under a second. The
+/// cheap non-checkpointing "linear" method keeps training out of the
+/// picture; dataset caching is what these tests exercise.
+core::Scenario tiny_fabric_scenario() {
+  core::Scenario s;
+  s.name = "fabric-test";
+  s.fabric.leaves = 2;
+  s.fabric.spines = 2;
+  s.fabric.hosts_per_leaf = 2;
+  s.campaign.buffer_size = 150;
+  s.campaign.slots_per_ms = 10;
+  s.campaign.total_ms = 400;
+  s.campaign.seed = 5;
+  s.campaign.shard_ms = 0;
+  s.window_ms = 100;
+  s.factor = 50;
+  s.methods = {"linear"};
+  return s;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("fmnet_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::int64_t kind_count(const char* event, const char* kind) {
+  return obs::Registry::global()
+      .counter(std::string("engine.artifact.") + event + "." + kind)
+      .value();
+}
+
+std::string results_to_string(
+    const std::vector<core::FabricSwitchResult>& results) {
+  std::ostringstream os;
+  for (const auto& r : results) {
+    os << "== " << r.name << " ==\n";
+    core::print_table1(r.rows, os);
+  }
+  return os.str();
+}
+
+// ---- topology -------------------------------------------------------------
+
+TEST(FabricTopology, PortLayoutAndNames) {
+  fabric::FabricConfig f;
+  f.leaves = 3;
+  f.spines = 2;
+  f.hosts_per_leaf = 4;
+  f.link_capacity = 2;
+  EXPECT_EQ(f.num_switches(), 5);
+  EXPECT_EQ(f.total_hosts(), 12);
+  EXPECT_TRUE(fabric::is_leaf(f, 0));
+  EXPECT_TRUE(fabric::is_leaf(f, 2));
+  EXPECT_FALSE(fabric::is_leaf(f, 3));
+  EXPECT_EQ(fabric::switch_name(f, 1), "leaf1");
+  EXPECT_EQ(fabric::switch_name(f, 3), "spine0");
+  EXPECT_EQ(fabric::switch_name(f, 4), "spine1");
+
+  // Leaf: 4 host ports + 2 spines * 2 cables of uplink.
+  EXPECT_EQ(fabric::leaf_num_ports(f), 8);
+  EXPECT_EQ(fabric::leaf_uplink_port(f, 0, 0), 4);
+  EXPECT_EQ(fabric::leaf_uplink_port(f, 1, 1), 7);
+  // Spine: 3 leaves * 2 cables of downlink.
+  EXPECT_EQ(fabric::spine_num_ports(f), 6);
+  EXPECT_EQ(fabric::spine_downlink_port(f, 2, 1), 5);
+  EXPECT_EQ(fabric::switch_num_ports(f, 0), 8);
+  EXPECT_EQ(fabric::switch_num_ports(f, 4), 6);
+}
+
+TEST(FabricEcmp, PureInRangeAndSpreading) {
+  fabric::FabricConfig f;
+  f.leaves = 4;
+  f.spines = 4;
+  f.hosts_per_leaf = 8;
+  f.link_capacity = 2;
+  const std::uint64_t seed = fabric::ecmp_seed_from(42);
+  std::set<std::int64_t> spines_seen;
+  for (std::int64_t dst = 0; dst < f.total_hosts(); ++dst) {
+    for (const std::int32_t cls : {0, 1}) {
+      const auto r = fabric::ecmp_route(f, seed, /*src_leaf=*/1, dst, cls);
+      EXPECT_GE(r.spine, 0);
+      EXPECT_LT(r.spine, f.spines);
+      EXPECT_GE(r.up_cable, 0);
+      EXPECT_LT(r.up_cable, f.link_capacity);
+      EXPECT_GE(r.down_cable, 0);
+      EXPECT_LT(r.down_cable, f.link_capacity);
+      // Flow-coherent: the same flow always takes the same path.
+      const auto again = fabric::ecmp_route(f, seed, 1, dst, cls);
+      EXPECT_EQ(r.spine, again.spine);
+      EXPECT_EQ(r.up_cable, again.up_cable);
+      EXPECT_EQ(r.down_cable, again.down_cable);
+      spines_seen.insert(r.spine);
+    }
+  }
+  // 64 flows over 4 spines: a hash that funnels everything through one
+  // spine is not load-spreading.
+  EXPECT_GT(spines_seen.size(), 1u);
+}
+
+// ---- coupled simulation ---------------------------------------------------
+
+TEST(FabricSim, BitIdenticalAcrossLaneCounts) {
+  const auto p = tiny_params();
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  const auto a = fabric::simulate_fabric(p, &one);
+  const auto b = fabric::simulate_fabric(p, &eight);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(p.topo.num_switches()));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].config.num_ports, b[i].config.num_ports);
+    expect_gt_equal(a[i].gt, b[i].gt, a[i].name);
+  }
+}
+
+TEST(FabricSim, CrossSwitchTrafficReachesSpines) {
+  const auto before =
+      obs::Registry::global().counter("fabric.link.delivered").value();
+  const auto results = fabric::simulate_fabric(tiny_params());
+  EXPECT_GT(obs::Registry::global().counter("fabric.link.delivered").value(),
+            before);
+  // Every spine must actually forward packets: remote flows exist under
+  // the paper workload as soon as there is more than one leaf.
+  for (const auto& r : results) {
+    if (r.name.rfind("spine", 0) != 0) continue;
+    double sent = 0.0;
+    for (const auto& series : r.gt.port_sent) {
+      for (const double v : series.values()) sent += v;
+    }
+    EXPECT_GT(sent, 0.0) << r.name;
+  }
+}
+
+// ---- engine per-switch phase ----------------------------------------------
+
+TEST(FabricEngine, ResultsBitIdenticalAcrossLaneCounts) {
+  const auto s = tiny_fabric_scenario();
+  util::ThreadPool one(1);
+  util::ThreadPool eight(8);
+  core::Engine e1(core::ArtifactStore(), &one);
+  core::Engine e8(core::ArtifactStore(), &eight);
+  const auto r1 = e1.run_fabric(s);
+  const auto r8 = e8.run_fabric(s);
+  ASSERT_EQ(r1.size(), static_cast<std::size_t>(s.fabric.num_switches()));
+  EXPECT_EQ(results_to_string(r1), results_to_string(r8));
+}
+
+TEST(FabricEngine, PerSwitchKeysAreDistinctAndFaultScoped) {
+  auto s = tiny_fabric_scenario();
+  s.faults.severity = 1.0;
+  s.faults.periodic_drop = 0.05;
+  s.fabric.faults_switch = 1;
+  std::set<std::string> keys;
+  for (std::int64_t i = 0; i < s.fabric.num_switches(); ++i) {
+    keys.insert(core::Engine::fabric_campaign_key(s, i));
+    keys.insert(core::Engine::fabric_dataset_key(s, i));
+  }
+  EXPECT_EQ(keys.size(), 2u * static_cast<std::size_t>(
+                                  s.fabric.num_switches()));
+
+  // Editing the scoped switch's faults must move ONLY its dataset key:
+  // ground-truth keys ignore faults, and other switches' datasets carry no
+  // faults block at all.
+  auto edited = s;
+  edited.faults.periodic_drop = 0.2;
+  for (std::int64_t i = 0; i < s.fabric.num_switches(); ++i) {
+    EXPECT_EQ(core::Engine::fabric_campaign_key(s, i),
+              core::Engine::fabric_campaign_key(edited, i))
+        << "switch " << i;
+    if (i == 1) {
+      EXPECT_NE(core::Engine::fabric_dataset_key(s, i),
+                core::Engine::fabric_dataset_key(edited, i));
+    } else {
+      EXPECT_EQ(core::Engine::fabric_dataset_key(s, i),
+                core::Engine::fabric_dataset_key(edited, i))
+          << "switch " << i;
+    }
+  }
+}
+
+TEST(FabricEngine, WarmRunHitsEverySwitchCache) {
+  auto s = tiny_fabric_scenario();
+  const std::string dir = fresh_dir("fabric_warm");
+  const auto n = static_cast<std::int64_t>(s.fabric.num_switches());
+  {
+    core::Engine cold{core::ArtifactStore(dir)};
+    (void)cold.run_fabric(s);
+  }
+  core::Engine warm{core::ArtifactStore(dir)};
+  const auto gt_hit0 = kind_count("hit", "fabric-gt");
+  const auto gt_miss0 = kind_count("miss", "fabric-gt");
+  const auto ds_hit0 = kind_count("hit", "dataset");
+  const auto ds_miss0 = kind_count("miss", "dataset");
+  const auto warm_results = warm.run_fabric(s);
+  EXPECT_EQ(kind_count("hit", "fabric-gt") - gt_hit0, n);
+  EXPECT_EQ(kind_count("miss", "fabric-gt") - gt_miss0, 0);
+  EXPECT_EQ(kind_count("hit", "dataset") - ds_hit0, n);
+  EXPECT_EQ(kind_count("miss", "dataset") - ds_miss0, 0);
+  EXPECT_EQ(warm_results.size(), static_cast<std::size_t>(n));
+  fs::remove_all(dir);
+}
+
+TEST(FabricEngine, EditingOneSwitchsFaultsRecomputesExactlyThatDataset) {
+  auto s = tiny_fabric_scenario();
+  s.faults.severity = 1.0;
+  s.faults.periodic_drop = 0.05;
+  s.fabric.faults_switch = 0;
+  const std::string dir = fresh_dir("fabric_one_switch");
+  const auto n = static_cast<std::int64_t>(s.fabric.num_switches());
+  {
+    core::Engine cold{core::ArtifactStore(dir)};
+    (void)cold.run_fabric(s);
+  }
+  // Degrade only switch 0's telemetry harder. Ground truth is untouched
+  // (fault injection is post-simulation), and every other switch's
+  // dataset carries no faults block — so the warm run re-prepares exactly
+  // one dataset and loads everything else.
+  auto edited = s;
+  edited.faults.periodic_drop = 0.25;
+  core::Engine warm{core::ArtifactStore(dir)};
+  const auto gt_miss0 = kind_count("miss", "fabric-gt");
+  const auto ds_hit0 = kind_count("hit", "dataset");
+  const auto ds_miss0 = kind_count("miss", "dataset");
+  (void)warm.run_fabric(edited);
+  EXPECT_EQ(kind_count("miss", "fabric-gt") - gt_miss0, 0);
+  EXPECT_EQ(kind_count("miss", "dataset") - ds_miss0, 1);
+  EXPECT_EQ(kind_count("hit", "dataset") - ds_hit0, n - 1);
+  fs::remove_all(dir);
+}
+
+// ---- scenario plumbing ----------------------------------------------------
+
+TEST(FabricScenario, RoundTripsThroughCanonicalForm) {
+  auto s = tiny_fabric_scenario();
+  s.fabric.link_capacity = 2;
+  s.fabric.link_delay_ms = 3;
+  s.fabric.faults_switch = 2;
+  const auto canon = core::canonical_scenario(s);
+  const auto back = core::parse_scenario_string(canon);
+  EXPECT_EQ(core::canonical_scenario(back), canon);
+  EXPECT_EQ(back.fabric.leaves, s.fabric.leaves);
+  EXPECT_EQ(back.fabric.spines, s.fabric.spines);
+  EXPECT_EQ(back.fabric.hosts_per_leaf, s.fabric.hosts_per_leaf);
+  EXPECT_EQ(back.fabric.link_capacity, s.fabric.link_capacity);
+  EXPECT_EQ(back.fabric.link_delay_ms, s.fabric.link_delay_ms);
+  EXPECT_EQ(back.fabric.faults_switch, s.fabric.faults_switch);
+}
+
+TEST(FabricScenario, DisabledFabricLeavesCacheKeysUntouched) {
+  core::Scenario plain;
+  plain.name = "plain";
+  auto with_defaults = plain;
+  with_defaults.fabric.hosts_per_leaf = 9;  // irrelevant while disabled
+  EXPECT_EQ(core::canonical_fabric(plain), "");
+  EXPECT_EQ(core::canonical_dataset(plain),
+            core::canonical_dataset(with_defaults));
+  EXPECT_EQ(core::canonical_dataset(plain).find("fabric"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmnet

@@ -8,7 +8,10 @@
 #include <sstream>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "util/check.h"
@@ -309,13 +312,78 @@ TEST(ThreadPool, PropagatesBodyException) {
   EXPECT_EQ(count.load(), 10);
 }
 
-TEST(ThreadPool, NestedRegionsExecuteInline) {
+TEST(ThreadPool, NestedRegionsCoverEveryIndex) {
   util::ThreadPool pool(4);
   std::atomic<int> count{0};
   pool.parallel_for(0, 8, [&](std::int64_t) {
     pool.parallel_for(0, 8, [&](std::int64_t) { ++count; });
   });
   EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedRegionsNeverOversubscribe) {
+  // Outer tasks that internally parallel_map (the per-switch fabric shape:
+  // switch tasks running pool-parallel training) must neither deadlock nor
+  // run on more OS threads than the pool owns. Idle workers may be
+  // recruited by inner regions; busy ones never are.
+  util::ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::vector<std::int64_t> outer_sums(3, 0);
+  pool.parallel_for(0, 3, [&](std::int64_t o) {
+    const auto inner = util::parallel_map<std::int64_t>(
+        pool, 64, [&](std::int64_t i) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            seen.insert(std::this_thread::get_id());
+          }
+          return (o + 1) * i;
+        });
+    outer_sums[static_cast<std::size_t>(o)] =
+        std::accumulate(inner.begin(), inner.end(), std::int64_t{0});
+  });
+  EXPECT_LE(seen.size(), 4u);  // caller + at most 3 workers, ever
+  for (std::int64_t o = 0; o < 3; ++o) {
+    EXPECT_EQ(outer_sums[static_cast<std::size_t>(o)], (o + 1) * 63 * 64 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedRegionsRecruitIdleWorkers) {
+  // One outer index occupies the caller and leaves every worker idle; the
+  // inner region should be able to fan out to them. The recruit count is
+  // advisory (scheduling-dependent), so assert progress rather than an
+  // exact lane count: with bodies that block until at least two distinct
+  // threads have entered, completion itself proves a worker helped.
+  util::ThreadPool pool(4);
+  std::atomic<int> entered{0};
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  pool.parallel_for(0, 2, [&](std::int64_t) {
+    pool.parallel_for(0, 16, [&](std::int64_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+      ++entered;
+    });
+  });
+  EXPECT_EQ(entered.load(), 32);
+  EXPECT_LE(seen.size(), 4u);
+}
+
+TEST(ThreadPool, NestedRegionsPreserveOuterFlagAcrossFanOut) {
+  // Regression: the caller-participation path must save/restore the
+  // in-region flag. If a nested fan-out cleared it, a *second* nested
+  // region on the same outer body would mistake itself for top-level and
+  // recruit busy workers. Observable contract: three stacked levels keep
+  // covering every index exactly once.
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 2, [&](std::int64_t) {
+    pool.parallel_for(0, 4, [&](std::int64_t) {
+      pool.parallel_for(0, 8, [&](std::int64_t) { ++count; });
+    });
+    pool.parallel_for(0, 4, [&](std::int64_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 2 * (4 * 8 + 4));
 }
 
 }  // namespace
