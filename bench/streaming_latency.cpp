@@ -11,8 +11,8 @@
 #include "impute/knowledge_imputer.h"
 #include "impute/streaming.h"
 #include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/stats.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 using namespace fmnet;
@@ -29,9 +29,12 @@ int main() {
 
   const auto full = engine.fit_method(s, "transformer+kal+cem", data);
 
+  // The wall clock is injected explicitly (the same seam serve_test and
+  // fmnet_cli serve fill with a VirtualClock for deterministic latencies).
+  const util::Clock& clk = util::Clock::wall();
   impute::StreamingImputer stream(
       full.imputer, /*window_intervals=*/6, data.dataset_config.factor,
-      data.dataset_config.qlen_scale, data.dataset_config.count_scale);
+      data.dataset_config.qlen_scale, data.dataset_config.count_scale, &clk);
 
   // Stream the busiest queue's telemetry.
   std::size_t busiest = 0;
@@ -69,9 +72,9 @@ int main() {
   impute::BatchedStreamingImputer batched_stream(
       full.imputer, num_queues, /*window_intervals=*/6,
       data.dataset_config.factor, data.dataset_config.qlen_scale,
-      data.dataset_config.count_scale);
+      data.dataset_config.count_scale, &clk);
   std::vector<double> batched_ms;
-  fmnet::Stopwatch batched_clock;
+  const double batched_t0 = clk.now();
   for (std::size_t k = 0; k < data.coarse.num_intervals(); ++k) {
     std::vector<impute::CoarseIntervalUpdate> updates(num_queues);
     for (std::size_t q = 0; q < num_queues; ++q) {
@@ -86,8 +89,7 @@ int main() {
     }
   }
   const double batched_win_per_s =
-      static_cast<double>(batched_ms.size()) /
-      batched_clock.elapsed_seconds();
+      static_cast<double>(batched_ms.size()) / (clk.now() - batched_t0);
 
   auto& reg = obs::Registry::global();
   reg.gauge("bench.streaming.single.p99_ms")

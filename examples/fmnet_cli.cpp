@@ -7,6 +7,7 @@
 //   fmnet_cli evaluate --seed 42 --ms 4000 --methods transformer+kal+cem
 //   fmnet_cli impute   --seed 42 --ms 4000 --queue 3 --out q3.csv
 //   fmnet_cli sweep examples/scenarios/robustness.scn --severities 0,0.5,1
+//   fmnet_cli serve examples/scenarios/serve.scn
 //
 // run:      execute a scenario file end-to-end and print its Table-1 rows.
 // simulate: run a campaign and dump ground truth + coarse telemetry CSVs.
@@ -17,6 +18,11 @@
 //           across a severity grid, score every method per severity
 //           (core/robustness.h), print the curve table and write the
 //           JSON report (default BENCH_robustness.json).
+// serve:    long-running imputation server (src/serve): train/restore the
+//           scenario's base method, then replay serve.sessions concurrent
+//           sessions for serve.ticks ticks under a virtual clock. Stdout
+//           (counts, output hash, latency percentiles) is a deterministic
+//           pure function of the scenario at any FMNET_THREADS.
 //
 // Every command accepts the scenario option keys as flags (--campaign.seed
 // 7, --train.epochs 3, ...) plus the short aliases below; `run` applies
@@ -38,7 +44,9 @@
 #include "impute/registry.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/serve.h"
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -83,6 +91,7 @@ void usage(std::FILE* to) {
       to,
       "usage: fmnet_cli run <scenario-file> [flags]\n"
       "       fmnet_cli sweep <scenario-file> [flags]\n"
+      "       fmnet_cli serve <scenario-file> [flags]\n"
       "       fmnet_cli <simulate|evaluate|impute> [flags]\n"
       "\n"
       "Scenario flags: any scenario option key (--campaign.seed N,\n"
@@ -325,6 +334,86 @@ int cmd_impute(const core::Scenario& s, const CliOptions& cli) {
   return 0;
 }
 
+/// FNV-1a over a 64-bit word, little-endian byte order.
+std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int cmd_serve(const core::Scenario& s, const CliOptions& cli) {
+  if (reject_fabric(s, "serve")) return 2;
+  if (!s.serve.enabled()) {
+    std::fprintf(stderr,
+                 "fmnet_cli: serve requires serve.sessions > 0 in the "
+                 "scenario\n");
+    return 2;
+  }
+  core::Engine engine = make_engine(cli);
+  const auto campaign = engine.campaign(s.campaign);
+  const auto data = engine.prepare(s, campaign);
+  // Serving shares checkpoints with batch evaluation of the same scenario:
+  // the base method is trained/restored once; CEM runs as the server's
+  // async repair lane rather than as a "+cem" wrapper.
+  const std::string base =
+      impute::Registry::base_method(s.methods.front());
+  auto built = engine.fit_method(s, base, data);
+
+  // Virtual clock: the replay schedule *is* the time axis, so published
+  // latencies are tick-quantised and the whole run is bit-reproducible.
+  util::VirtualClock clock;
+  serve::ServeCore server(s.serve, built.imputer, s.window_ms / s.factor,
+                          s.factor, data.dataset_config.qlen_scale,
+                          data.dataset_config.count_scale, s.cem, &clock);
+  serve::ReplaySource source(data.coarse, s.campaign.queues_per_port,
+                             s.serve.sessions);
+  std::vector<impute::CoarseIntervalUpdate> updates;
+  std::vector<serve::PublishedWindow> published;
+  for (std::int64_t t = 0; t < s.serve.ticks; ++t) {
+    source.fill(t, updates);
+    server.tick(updates, published);
+    clock.advance(s.serve.interval_ms * 1e-3);
+  }
+  server.drain(published);
+
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& p : published) {
+    h = fnv64(h, static_cast<std::uint64_t>(p.session));
+    h = fnv64(h, static_cast<std::uint64_t>(p.tick));
+    h = fnv64(h, static_cast<std::uint64_t>(p.kind));
+    for (const double v : p.fine) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      h = fnv64(h, bits);
+    }
+  }
+
+  const serve::ServeStats& st = server.stats();
+  std::printf("serve: sessions=%lld ticks=%lld method=%s\n",
+              static_cast<long long>(s.serve.sessions),
+              static_cast<long long>(s.serve.ticks), base.c_str());
+  std::printf("published: raw=%lld repaired=%lld degraded=%lld "
+              "batches=%lld\n",
+              static_cast<long long>(st.windows_raw),
+              static_cast<long long>(st.windows_repaired),
+              static_cast<long long>(st.windows_degraded),
+              static_cast<long long>(st.batches));
+  std::printf("shed: queue=%lld repair=%lld\n",
+              static_cast<long long>(st.shed_queue),
+              static_cast<long long>(st.shed_repair));
+  // Deterministic under the virtual clock: latencies are pure functions of
+  // the tick schedule, so the percentiles may join the stdout contract.
+  const auto& raw =
+      obs::Registry::global().percentiles("serve.latency.raw_ms");
+  std::printf("latency.raw_ms: p50=%.3f p99=%.3f max=%.3f\n",
+              raw.percentile(50.0), raw.percentile(99.0), raw.max());
+  std::printf("output-hash: %016llx\n",
+              static_cast<unsigned long long>(h));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,7 +426,7 @@ int main(int argc, char** argv) {
   core::Scenario scenario;
   CliOptions cli;
   int flag_start = 2;
-  if (command == "run" || command == "sweep") {
+  if (command == "run" || command == "sweep" || command == "serve") {
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
       std::fprintf(stderr, "fmnet_cli: %s requires a scenario file\n",
                    command.c_str());
@@ -374,6 +463,8 @@ int main(int argc, char** argv) {
     rc = cmd_run(scenario, cli);
   } else if (command == "sweep") {
     rc = cmd_sweep(scenario, cli);
+  } else if (command == "serve") {
+    rc = cmd_serve(scenario, cli);
   } else if (command == "simulate") {
     rc = cmd_simulate(scenario, cli);
   } else {

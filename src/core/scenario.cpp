@@ -1,5 +1,6 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -451,9 +452,82 @@ const std::vector<OptionDef>& option_defs() {
                                 &fabric::FabricConfig::link_delay_ms, 1));
     defs.push_back(fabric_count("fabric.faults-switch",
                                 &fabric::FabricConfig::faults_switch, -1));
+
+    // --- serving core (serve/config.h) ---
+    // Appended after every pre-existing key (same discipline as faults and
+    // fabric). serve.* keys never join cache-key material: serving replays
+    // an already-trained scenario, so server knobs must not invalidate
+    // campaign/dataset/checkpoint artifacts.
+    auto serve_count = [](const char* key,
+                          std::int64_t serve::ServeConfig::*m,
+                          std::int64_t min_value) {
+      return OptionDef{
+          key,
+          [m, min_value](Scenario& s, const std::string& k,
+                         const std::string& v) {
+            const auto parsed = parse_int(k, v);
+            FMNET_CHECK_GE(parsed, min_value);
+            s.serve.*m = parsed;
+          },
+          [m](const Scenario& s) { return fmt_int(s.serve.*m); }};
+    };
+    defs.push_back(
+        serve_count("serve.sessions", &serve::ServeConfig::sessions, 0));
+    defs.push_back(
+        serve_count("serve.ticks", &serve::ServeConfig::ticks, 1));
+    defs.push_back({"serve.interval-ms",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const double ms = parse_real(k, v);
+                      FMNET_CHECK_GT(ms, 0.0);
+                      s.serve.interval_ms = ms;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_real(s.serve.interval_ms);
+                    }});
+    defs.push_back(
+        serve_count("serve.max-batch", &serve::ServeConfig::max_batch, 1));
+    defs.push_back(serve_count("serve.max-delay-ticks",
+                               &serve::ServeConfig::max_delay_ticks, 0));
+    defs.push_back(serve_count("serve.queue-budget",
+                               &serve::ServeConfig::queue_budget, 1));
+    defs.push_back(serve_count("serve.repair-budget",
+                               &serve::ServeConfig::repair_budget, 0));
+    defs.push_back({"serve.repair",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const auto b = parse_int(k, v);
+                      FMNET_CHECK(b == 0 || b == 1,
+                                  "option " + k + ": expected 0|1");
+                      s.serve.repair = b == 1;
+                    },
+                    [](const Scenario& s) {
+                      return fmt_int(s.serve.repair ? 1 : 0);
+                    }});
     return defs;
   }();
   return kDefs;
+}
+
+/// Section names a scenario file may open with `[section]` — exactly the
+/// dotted prefixes of the option table, so a new option family is
+/// automatically a valid section.
+bool is_known_section(const std::string& section) {
+  static const std::vector<std::string> kSections = [] {
+    std::vector<std::string> out;
+    for (const auto& def : option_defs()) {
+      const std::string key = def.key;
+      const auto dot = key.find('.');
+      if (dot == std::string::npos) continue;
+      const std::string prefix = key.substr(0, dot);
+      if (std::find(out.begin(), out.end(), prefix) == out.end()) {
+        out.push_back(prefix);
+      }
+    }
+    return out;
+  }();
+  return std::find(kSections.begin(), kSections.end(), section) !=
+         kSections.end();
 }
 
 std::string emit(const Scenario& s, const char* first_key,
@@ -510,6 +584,12 @@ Scenario parse_scenario(std::istream& in, const std::string& origin) {
                   origin + ":" + std::to_string(lineno) +
                       ": malformed section header " + line);
       section = trim(line.substr(1, line.size() - 2));
+      // Reject unknown sections at the header, not at the first key:
+      // an unrecognised empty section (e.g. a typo'd [serv]) used to
+      // silently no-op when every key under it was fully qualified.
+      FMNET_CHECK(is_known_section(section),
+                  origin + ":" + std::to_string(lineno) +
+                      ": unknown scenario section [" + section + "]");
       continue;
     }
     const auto eq = line.find('=');
@@ -543,9 +623,9 @@ Scenario load_scenario_file(const std::string& path) {
 }
 
 std::string canonical_scenario(const Scenario& s) {
-  // Full round trip: every option key, faults and fabric included, so
-  // parse(canonical(s)) == s for any s (fuzz-tested fixpoint).
-  return emit(s, "name", "fabric.faults-switch");
+  // Full round trip: every option key — faults, fabric and serve included
+  // — so parse(canonical(s)) == s for any s (fuzz-tested fixpoint).
+  return emit(s, "name", "serve.repair");
 }
 
 std::string canonical_campaign(const CampaignConfig& c) {

@@ -39,6 +39,7 @@
 #include "impute/cem.h"
 #include "impute/transformer_imputer.h"
 #include "nn/transformer.h"
+#include "serve/config.h"
 
 namespace fmnet::core {
 
@@ -67,6 +68,11 @@ struct Scenario {
   /// When enabled, campaign.ports is ignored (port counts come from the
   /// topology) and the engine takes the per-switch sharded path.
   fabric::FabricConfig fabric;
+  /// Long-running serving mode (serve/config.h). Disabled by default
+  /// (sessions == 0). serve.* keys feed NO artifact cache keys: serving
+  /// replays an already-simulated/trained scenario, so tweaking server
+  /// knobs must keep hitting the batch pipeline's caches.
+  serve::ServeConfig serve;
 
   Scenario();
 };

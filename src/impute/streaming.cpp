@@ -4,7 +4,6 @@
 
 #include "obs/metrics.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 
 namespace fmnet::impute {
 
@@ -30,29 +29,45 @@ struct StreamObs {
   }
 };
 
-// Builds the trailing-window example a full session imputes from. Pure
-// function of the window contents and scales; shared by the single-session
-// and batched imputers so both modes feed the model identical features.
-ImputationExample window_to_example(
-    const std::deque<CoarseIntervalUpdate>& window,
-    std::size_t window_intervals, std::size_t factor, double qlen_scale,
-    double count_scale) {
+}  // namespace
+
+WindowBuffer::WindowBuffer(std::size_t window_intervals, std::size_t factor,
+                           double qlen_scale, double count_scale)
+    : window_intervals_(window_intervals),
+      factor_(factor),
+      qlen_scale_(qlen_scale),
+      count_scale_(count_scale) {
+  FMNET_CHECK_GT(window_intervals, 0u);
+  FMNET_CHECK_GT(factor, 0u);
+  FMNET_CHECK_GT(qlen_scale, 0.0);
+  FMNET_CHECK_GT(count_scale, 0.0);
+}
+
+bool WindowBuffer::push(const CoarseIntervalUpdate& update) {
+  ++intervals_seen_;
+  window_.push_back(update);
+  if (window_.size() > window_intervals_) window_.pop_front();
+  return ready();
+}
+
+ImputationExample WindowBuffer::make_example() const {
+  FMNET_CHECK(ready(), "window not full yet");
   ImputationExample ex;
-  ex.window = window_intervals * factor;
-  ex.qlen_scale = qlen_scale;
-  ex.count_scale = count_scale;
-  ex.constraints.coarse_factor = static_cast<std::int64_t>(factor);
+  ex.window = window_intervals_ * factor_;
+  ex.qlen_scale = qlen_scale_;
+  ex.count_scale = count_scale_;
+  ex.constraints.coarse_factor = static_cast<std::int64_t>(factor_);
   ex.features.resize(ex.window * telemetry::kNumInputChannels);
   ex.target.assign(ex.window, 0.0f);  // unknown online; never read
-  for (std::size_t w = 0; w < window_intervals; ++w) {
-    const CoarseIntervalUpdate& u = window[w];
-    const auto periodic = static_cast<float>(u.periodic_qlen / qlen_scale);
-    const auto qmax = static_cast<float>(u.max_qlen / qlen_scale);
-    const auto sent = static_cast<float>(u.port_sent / count_scale);
-    const auto dropped = static_cast<float>(u.port_dropped / count_scale);
-    for (std::size_t k = 0; k < factor; ++k) {
+  for (std::size_t w = 0; w < window_intervals_; ++w) {
+    const CoarseIntervalUpdate& u = window_[w];
+    const auto periodic = static_cast<float>(u.periodic_qlen / qlen_scale_);
+    const auto qmax = static_cast<float>(u.max_qlen / qlen_scale_);
+    const auto sent = static_cast<float>(u.port_sent / count_scale_);
+    const auto dropped = static_cast<float>(u.port_dropped / count_scale_);
+    for (std::size_t k = 0; k < factor_; ++k) {
       float* row = ex.features.data() +
-                   (w * factor + k) * telemetry::kNumInputChannels;
+                   (w * factor_ + k) * telemetry::kNumInputChannels;
       row[telemetry::kChannelPeriodicQlen] = periodic;
       row[telemetry::kChannelMaxQlen] = qmax;
       row[telemetry::kChannelPortSent] = sent;
@@ -60,54 +75,40 @@ ImputationExample window_to_example(
     }
     ex.constraints.window_max.push_back(qmax);
     ex.constraints.port_sent.push_back(static_cast<float>(
-        std::min<double>(static_cast<double>(factor), u.port_sent)));
+        std::min<double>(static_cast<double>(factor_), u.port_sent)));
     ex.constraints.sample_idx.push_back(
-        static_cast<std::int64_t>(w * factor));
+        static_cast<std::int64_t>(w * factor_));
     ex.constraints.sample_val.push_back(periodic);
   }
-  ex.constraints.ne_tanh_scale = static_cast<float>(qlen_scale);
+  ex.constraints.ne_tanh_scale = static_cast<float>(qlen_scale_);
   return ex;
 }
-
-}  // namespace
 
 StreamingImputer::StreamingImputer(std::shared_ptr<Imputer> base,
                                    std::size_t window_intervals,
                                    std::size_t factor, double qlen_scale,
-                                   double count_scale)
+                                   double count_scale,
+                                   const util::Clock* clock)
     : base_(std::move(base)),
-      window_intervals_(window_intervals),
-      factor_(factor),
-      qlen_scale_(qlen_scale),
-      count_scale_(count_scale) {
+      buffer_(window_intervals, factor, qlen_scale, count_scale),
+      clock_(clock) {
   FMNET_CHECK(base_ != nullptr, "null base imputer");
-  FMNET_CHECK_GT(window_intervals, 0u);
-  FMNET_CHECK_GT(factor, 0u);
-  FMNET_CHECK_GT(qlen_scale, 0.0);
-  FMNET_CHECK_GT(count_scale, 0.0);
-}
-
-ImputationExample StreamingImputer::make_example() const {
-  return window_to_example(window_, window_intervals_, factor_, qlen_scale_,
-                           count_scale_);
 }
 
 StreamingOutput StreamingImputer::push(const CoarseIntervalUpdate& update) {
-  ++intervals_seen_;
-  window_.push_back(update);
-  if (window_.size() > window_intervals_) window_.pop_front();
-
   StreamingOutput out;
-  if (window_.size() < window_intervals_) return out;
+  if (!buffer_.push(update)) return out;
 
-  fmnet::Stopwatch clock;
-  const ImputationExample ex = make_example();
+  const util::Clock& clk = util::Clock::resolve(clock_);
+  const double t0 = clk.now();
+  const ImputationExample ex = buffer_.make_example();
   const std::vector<double> full = base_->impute(ex);
   FMNET_CHECK_EQ(full.size(), ex.window);
   out.ready = true;
-  out.fine.assign(full.end() - static_cast<std::ptrdiff_t>(factor_),
-                  full.end());
-  out.latency_seconds = clock.elapsed_seconds();
+  out.fine.assign(
+      full.end() - static_cast<std::ptrdiff_t>(buffer_.factor()),
+      full.end());
+  out.latency_seconds = clk.now() - t0;
   StreamObs::instance().intervals.add(1);
   StreamObs::instance().latency.record(out.latency_seconds * 1e3);
   return out;
@@ -118,19 +119,16 @@ BatchedStreamingImputer::BatchedStreamingImputer(std::shared_ptr<Imputer> base,
                                                  std::size_t window_intervals,
                                                  std::size_t factor,
                                                  double qlen_scale,
-                                                 double count_scale)
-    : base_(std::move(base)),
-      window_intervals_(window_intervals),
-      factor_(factor),
-      qlen_scale_(qlen_scale),
-      count_scale_(count_scale),
-      sessions_(num_sessions) {
+                                                 double count_scale,
+                                                 const util::Clock* clock)
+    : base_(std::move(base)), clock_(clock) {
   FMNET_CHECK(base_ != nullptr, "null base imputer");
   FMNET_CHECK_GT(num_sessions, 0u);
-  FMNET_CHECK_GT(window_intervals, 0u);
-  FMNET_CHECK_GT(factor, 0u);
-  FMNET_CHECK_GT(qlen_scale, 0.0);
-  FMNET_CHECK_GT(count_scale, 0.0);
+  sessions_.reserve(num_sessions);
+  for (std::size_t i = 0; i < num_sessions; ++i) {
+    sessions_.emplace_back(window_intervals, factor, qlen_scale,
+                           count_scale);
+  }
 }
 
 std::vector<StreamingOutput> BatchedStreamingImputer::push(
@@ -140,30 +138,28 @@ std::vector<StreamingOutput> BatchedStreamingImputer::push(
   std::vector<StreamingOutput> out(sessions_.size());
   std::vector<std::size_t> ready;
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    auto& window = sessions_[i];
-    window.push_back(updates[i]);
-    if (window.size() > window_intervals_) window.pop_front();
-    if (window.size() == window_intervals_) ready.push_back(i);
+    if (sessions_[i].push(updates[i])) ready.push_back(i);
   }
   if (ready.empty()) return out;
 
-  fmnet::Stopwatch clock;
+  const util::Clock& clk = util::Clock::resolve(clock_);
+  const double t0 = clk.now();
   std::vector<ImputationExample> batch;
   batch.reserve(ready.size());
   for (const std::size_t i : ready) {
-    batch.push_back(window_to_example(sessions_[i], window_intervals_,
-                                      factor_, qlen_scale_, count_scale_));
+    batch.push_back(sessions_[i].make_example());
   }
   const std::vector<std::vector<double>> full = base_->impute_batch(batch);
   FMNET_CHECK_EQ(full.size(), ready.size());
   const double per_window =
-      clock.elapsed_seconds() / static_cast<double>(ready.size());
+      (clk.now() - t0) / static_cast<double>(ready.size());
+  const auto factor =
+      static_cast<std::ptrdiff_t>(sessions_.front().factor());
   for (std::size_t r = 0; r < ready.size(); ++r) {
     FMNET_CHECK_EQ(full[r].size(), batch[r].window);
     StreamingOutput& o = out[ready[r]];
     o.ready = true;
-    o.fine.assign(full[r].end() - static_cast<std::ptrdiff_t>(factor_),
-                  full[r].end());
+    o.fine.assign(full[r].end() - factor, full[r].end());
     o.latency_seconds = per_window;
     StreamObs::instance().intervals.add(1);
     StreamObs::instance().latency.record(per_window * 1e3);

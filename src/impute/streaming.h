@@ -9,12 +9,18 @@
 // the per-interval processing latency is recorded. The real-time budget is
 // one coarse interval (50 ms): if imputation of an interval takes longer
 // than the interval itself, the system cannot keep up.
+//
+// The window-buffering/example-construction state lives in WindowBuffer so
+// the serving core (src/serve) can hold one buffer per session while
+// sharing a single imputer model across all of them; StreamingImputer and
+// BatchedStreamingImputer are thin model-owning wrappers over it.
 #pragma once
 
 #include <deque>
 #include <memory>
 
 #include "impute/imputer.h"
+#include "util/clock.h"
 
 namespace fmnet::impute {
 
@@ -32,35 +38,69 @@ struct StreamingOutput {
   /// Fine-grained queue lengths of the *newest* interval (factor values,
   /// packets).
   std::vector<double> fine;
-  /// Wall-clock seconds spent producing it.
+  /// Seconds spent producing it, as read from the injected clock (wall
+  /// clock by default; a VirtualClock under deterministic replay).
   double latency_seconds = 0.0;
 };
 
-class StreamingImputer {
+/// Per-session window state: buffers the trailing context window of coarse
+/// intervals and builds the ImputationExample the model consumes. Holds no
+/// model — one imputer can serve any number of WindowBuffers. Example
+/// construction is a pure function of the buffered window and the scales,
+/// shared by every streaming/serving mode so they all feed the model
+/// identical features.
+class WindowBuffer {
  public:
   /// `window_intervals` is the model's context length in coarse intervals
   /// (e.g. 6 for the paper's 300 ms window at 50 ms telemetry).
-  StreamingImputer(std::shared_ptr<Imputer> base,
-                   std::size_t window_intervals, std::size_t factor,
-                   double qlen_scale, double count_scale);
+  WindowBuffer(std::size_t window_intervals, std::size_t factor,
+               double qlen_scale, double count_scale);
 
-  /// Feeds the next coarse interval; returns the imputed newest interval
-  /// once enough context has accumulated (ready == false before that).
-  StreamingOutput push(const CoarseIntervalUpdate& update);
+  /// Buffers the next coarse interval (evicting the oldest once full) and
+  /// returns whether a full context window is now available.
+  bool push(const CoarseIntervalUpdate& update);
 
-  /// Number of intervals consumed so far.
-  std::size_t intervals_seen() const { return intervals_seen_; }
+  /// True once window_intervals updates have been buffered.
+  bool ready() const { return window_.size() == window_intervals_; }
 
- private:
+  /// The trailing-window example. Requires ready().
   ImputationExample make_example() const;
 
-  std::shared_ptr<Imputer> base_;
+  std::size_t intervals_seen() const { return intervals_seen_; }
+  std::size_t window_intervals() const { return window_intervals_; }
+  std::size_t factor() const { return factor_; }
+  double qlen_scale() const { return qlen_scale_; }
+  double count_scale() const { return count_scale_; }
+
+ private:
   std::size_t window_intervals_;
   std::size_t factor_;
   double qlen_scale_;
   double count_scale_;
   std::deque<CoarseIntervalUpdate> window_;
   std::size_t intervals_seen_ = 0;
+};
+
+class StreamingImputer {
+ public:
+  /// `clock` follows the util::Clock convention: null = wall clock. It is
+  /// only read to stamp StreamingOutput::latency_seconds.
+  StreamingImputer(std::shared_ptr<Imputer> base,
+                   std::size_t window_intervals, std::size_t factor,
+                   double qlen_scale, double count_scale,
+                   const util::Clock* clock = nullptr);
+
+  /// Feeds the next coarse interval; returns the imputed newest interval
+  /// once enough context has accumulated (ready == false before that).
+  StreamingOutput push(const CoarseIntervalUpdate& update);
+
+  /// Number of intervals consumed so far.
+  std::size_t intervals_seen() const { return buffer_.intervals_seen(); }
+
+ private:
+  std::shared_ptr<Imputer> base_;
+  WindowBuffer buffer_;
+  const util::Clock* clock_;
 };
 
 /// Many concurrent single-queue sessions (e.g. every queue of a switch)
@@ -74,7 +114,8 @@ class BatchedStreamingImputer {
   BatchedStreamingImputer(std::shared_ptr<Imputer> base,
                           std::size_t num_sessions,
                           std::size_t window_intervals, std::size_t factor,
-                          double qlen_scale, double count_scale);
+                          double qlen_scale, double count_scale,
+                          const util::Clock* clock = nullptr);
 
   /// Feeds the next interval of every session (updates[i] -> session i;
   /// size must equal num_sessions()) and returns per-session outputs.
@@ -93,11 +134,8 @@ class BatchedStreamingImputer {
 
  private:
   std::shared_ptr<Imputer> base_;
-  std::size_t window_intervals_;
-  std::size_t factor_;
-  double qlen_scale_;
-  double count_scale_;
-  std::vector<std::deque<CoarseIntervalUpdate>> sessions_;
+  std::vector<WindowBuffer> sessions_;
+  const util::Clock* clock_;
   std::size_t ticks_seen_ = 0;
 };
 

@@ -95,6 +95,19 @@ std::string to_json() {
   }
   os << (first ? "" : "\n  ") << "},\n";
 
+  os << "  \"percentiles\": {";
+  first = true;
+  for (const auto& [name, p] : reg.percentiles()) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name)
+       << ": {\"count\": " << p->count()
+       << ", \"p50\": " << json_number(p->percentile(50.0))
+       << ", \"p90\": " << json_number(p->percentile(90.0))
+       << ", \"p99\": " << json_number(p->percentile(99.0))
+       << ", \"max\": " << json_number(p->max()) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
   os << "  \"spans\": {";
   first = true;
   for (const auto& [path, s] : reg.spans()) {
@@ -175,6 +188,20 @@ void print_table(std::ostream& os) {
                  n > 0 ? Table::fmt(h->sum() / static_cast<double>(n), 4)
                        : "-",
                  buckets.empty() ? "-" : buckets});
+    }
+    t.print(os);
+    os << "\n";
+  }
+
+  const auto percentiles = reg.percentiles();
+  if (!percentiles.empty()) {
+    Table t({"percentiles", "count", "p50", "p90", "p99", "max"});
+    for (const auto& [name, p] : percentiles) {
+      t.add_row({name, std::to_string(p->count()),
+                 Table::fmt(p->percentile(50.0), 4),
+                 Table::fmt(p->percentile(90.0), 4),
+                 Table::fmt(p->percentile(99.0), 4),
+                 Table::fmt(p->max(), 4)});
     }
     t.print(os);
     os << "\n";

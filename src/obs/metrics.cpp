@@ -1,9 +1,11 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace fmnet::obs {
 
@@ -137,6 +139,61 @@ std::vector<std::int64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+struct Percentiles::Impl {
+  mutable std::mutex mu;
+  std::vector<double> samples;
+  std::int64_t count = 0;
+  double max_v = 0.0;
+  bool has_max = false;
+  // Reservoir replacement stream (algorithm R) once kMaxSamples is
+  // exceeded. Fixed seed: a fixed record() sequence always yields the same
+  // retained set, keeping virtual-clock replay runs bit-reproducible.
+  Rng rng{0x5e5e5e5e5e5e5e5eULL};
+};
+
+Percentiles::Percentiles() : impl_(new Impl()) {}
+
+void Percentiles::record(double v) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->count;
+  if (!impl_->has_max || v > impl_->max_v) {
+    impl_->max_v = v;
+    impl_->has_max = true;
+  }
+  if (impl_->samples.size() < kMaxSamples) {
+    impl_->samples.push_back(v);
+    return;
+  }
+  const std::int64_t j =
+      impl_->rng.uniform_int(0, impl_->count - 1);
+  if (j < static_cast<std::int64_t>(kMaxSamples)) {
+    impl_->samples[static_cast<std::size_t>(j)] = v;
+  }
+}
+
+double Percentiles::percentile(double p) const {
+  FMNET_CHECK(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->samples.empty()) return 0.0;
+  std::vector<double> sorted = impl_->samples;
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * n)));
+  auto nth = sorted.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(sorted.begin(), nth, sorted.end());
+  return *nth;
+}
+
+std::int64_t Percentiles::count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->count;
+}
+
+double Percentiles::max() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->has_max ? impl_->max_v : 0.0;
+}
+
 Registry& Registry::global() {
   // Leaked on purpose: the export path may run late in shutdown, after
   // function-local statics would have been destroyed.
@@ -176,6 +233,18 @@ Histogram& Registry::histogram(std::string_view name,
              .emplace(std::string(name),
                       std::unique_ptr<Histogram>(
                           new Histogram(std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+Percentiles& Registry::percentiles(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = percentiles_.find(name);
+  if (it == percentiles_.end()) {
+    it = percentiles_
+             .emplace(std::string(name),
+                      std::unique_ptr<Percentiles>(new Percentiles()))
              .first;
   }
   return *it->second;
@@ -223,6 +292,17 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
   return out;
 }
 
+std::vector<std::pair<std::string, const Percentiles*>>
+Registry::percentiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Percentiles*>> out;
+  out.reserve(percentiles_.size());
+  for (const auto& [name, p] : percentiles_) {
+    out.emplace_back(name, p.get());
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, SpanStat>> Registry::spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, SpanStat>> out;
@@ -238,6 +318,7 @@ void Registry::reset_for_testing() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  percentiles_.clear();
   spans_.clear();
 }
 

@@ -100,6 +100,36 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Exact streaming percentiles over bounded memory — the SLO-reporting
+/// complement of the fixed-bucket Histogram, whose p50/p99 readings are
+/// quantised to bucket edges. Samples are retained verbatim up to
+/// kMaxSamples (exact nearest-rank percentiles); past that the instrument
+/// degrades to a uniform reservoir (algorithm R) driven by a fixed-seed
+/// deterministic Rng, so memory stays bounded and, for a fixed record()
+/// sequence, readings stay reproducible. Updates take a per-instrument
+/// mutex — call sites are window granularity (one record per served
+/// window), not per-slot, so contention is negligible.
+class Percentiles {
+ public:
+  /// Exactness horizon: percentile() is exact (nearest-rank over every
+  /// recorded sample) while count() <= kMaxSamples. 64Ki doubles = 512 KiB
+  /// per instrument, far beyond any single serving run's window count.
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+  void record(double v);
+  /// Nearest-rank percentile (p in [0, 100]): the ceil(p/100 * n)-th
+  /// smallest retained sample; p = 0 returns the minimum. 0 when empty.
+  double percentile(double p) const;
+  std::int64_t count() const;
+  double max() const;
+
+ private:
+  friend class Registry;
+  Percentiles();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Aggregated statistics of one span path (see obs/span.h).
 struct SpanStat {
   std::int64_t count = 0;
@@ -121,6 +151,7 @@ class Registry {
   /// Bounds must be strictly increasing. Re-registering an existing name
   /// returns the original histogram (bounds of later calls are ignored).
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Percentiles& percentiles(std::string_view name);
 
   /// Folds one completed span into the per-path aggregate.
   void record_span(const std::string& path, double wall_s, double cpu_s);
@@ -129,6 +160,8 @@ class Registry {
   std::vector<std::pair<std::string, std::int64_t>> counters() const;
   std::vector<std::pair<std::string, const Gauge*>> gauges() const;
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::vector<std::pair<std::string, const Percentiles*>> percentiles()
+      const;
   std::vector<std::pair<std::string, SpanStat>> spans() const;
 
   /// Drops every instrument and span aggregate (tests only — outstanding
@@ -142,6 +175,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Percentiles>, std::less<>>
+      percentiles_;
   std::map<std::string, SpanStat> spans_;
 };
 

@@ -1,0 +1,34 @@
+// Per-session serving state (NFOS-style shared-state discipline): every
+// Session is owned by exactly one ingest shard per tick, so the hot path
+// mutates it without locks, while the imputer model itself is shared —
+// read-only at inference time — across all sessions.
+#pragma once
+
+#include <cstdint>
+
+#include "impute/cem.h"
+#include "impute/streaming.h"
+
+namespace fmnet::serve {
+
+/// State of one long-lived single-queue imputation session. Holds no
+/// model: window buffering and incremental-repair state only, so N
+/// sessions cost N small buffers and one shared model.
+struct Session {
+  Session(std::int64_t session_id, std::size_t window_intervals,
+          std::size_t factor, double qlen_scale, double count_scale,
+          const impute::CemConfig& cem)
+      : id(session_id),
+        window(window_intervals, factor, qlen_scale, count_scale),
+        repair(cem, static_cast<std::int64_t>(factor)) {}
+
+  std::int64_t id;
+  impute::WindowBuffer window;
+  /// Warm-started CEM repair of the session's newest interval; advanced
+  /// one window per published tick (stride = factor: adjacent windows).
+  impute::StreamingCemRepair repair;
+  std::int64_t windows_published = 0;
+  std::int64_t windows_shed = 0;
+};
+
+}  // namespace fmnet::serve

@@ -1,0 +1,79 @@
+// Injectable time source for latency measurement and server pacing.
+//
+// Production code reads time through a Clock& so tests and deterministic
+// replay harnesses can substitute a VirtualClock: wall-clock flakiness
+// (scheduler jitter turning a latency assertion red) disappears, and the
+// serving core's latency accounting becomes a pure function of the replay
+// schedule — bit-reproducible at any thread count.
+//
+// Convention mirrors util::ThreadPool: APIs take `Clock* clock = nullptr`
+// and resolve null to the process wall clock.
+#pragma once
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace fmnet::util {
+
+/// Monotonic time source reporting seconds since an arbitrary epoch.
+/// now() must be safe to call from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+
+  /// The process-wide steady wall clock (epoch = first use).
+  static Clock& wall();
+
+  /// `clock` if non-null, else the wall clock — the convention every API
+  /// that accepts an optional clock uses.
+  static Clock& resolve(const Clock* clock) {
+    return clock != nullptr ? const_cast<Clock&>(*clock) : wall();
+  }
+};
+
+/// Manually advanced clock for deterministic replay: now() returns exactly
+/// what the driver set, so latencies derived from it are pure functions of
+/// the replay schedule. Reads are safe from pool lanes as long as advances
+/// happen between parallel regions (the replay drivers' tick structure).
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double now() const override { return now_; }
+
+  void advance(double seconds) {
+    FMNET_CHECK_GE(seconds, 0.0);
+    now_ += seconds;
+  }
+
+  void set(double seconds) {
+    FMNET_CHECK_GE(seconds, now_);
+    now_ = seconds;
+  }
+
+ private:
+  double now_;
+};
+
+inline Clock& Clock::wall() {
+  class WallClock final : public Clock {
+   public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+    double now() const override {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+          .count();
+    }
+
+   private:
+    std::chrono::steady_clock::time_point start_;
+  };
+  // Leaked on purpose (same rule as obs::Registry): late-shutdown readers
+  // must never observe a destroyed clock.
+  static WallClock* clock = new WallClock();
+  return *clock;
+}
+
+}  // namespace fmnet::util

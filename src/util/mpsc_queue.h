@@ -1,0 +1,89 @@
+// Bounded lock-free multi-producer single-consumer hand-off queue.
+//
+// Built for the serving core's ready-queue: ingest shards running on pool
+// lanes publish ready windows concurrently (no locks on the hot path), and
+// the single batching consumer drains everything once the parallel region
+// completes. Capacity is fixed at construction; a full queue rejects the
+// push (the caller decides whether that means shedding).
+//
+// Concurrency contract:
+//  * try_push may be called from any number of threads concurrently.
+//  * drain/reset are single-consumer and expect producers to be quiescent
+//    for the *count* to be final, but tolerate stragglers: a slot claimed
+//    before drain read the count is spin-waited until its payload is
+//    visible (release/acquire on the per-slot flag).
+//  * Push order across producers is nondeterministic by nature — callers
+//    that need deterministic processing must sort the drained batch by a
+//    content key (the serving core orders by (tick, session)).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fmnet::util {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity)
+      : capacity_(capacity),
+        slots_(capacity),
+        ready_(std::make_unique<std::atomic<std::uint8_t>[]>(capacity)) {
+    FMNET_CHECK_GT(capacity, 0u);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      ready_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Number of claimed slots. Exact once producers are quiescent.
+  std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Claims a slot and moves `v` into it. Returns false (and leaves `v`
+  /// untouched) when the queue is full. Lock-free: one CAS to claim, one
+  /// release store to publish.
+  bool try_push(T&& v) {
+    std::size_t n = count_.load(std::memory_order_relaxed);
+    do {
+      if (n >= capacity_) return false;
+    } while (!count_.compare_exchange_weak(n, n + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed));
+    slots_[n] = std::move(v);
+    ready_[n].store(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Moves every claimed element out, in claim order, and empties the
+  /// queue. Single consumer only.
+  std::vector<T> drain() {
+    const std::size_t n = count_.load(std::memory_order_acquire);
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      while (ready_[i].load(std::memory_order_acquire) == 0) {
+        // Straggler producer between claim and publish: spin briefly.
+      }
+      out.push_back(std::move(slots_[i]));
+      ready_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_release);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> ready_;
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace fmnet::util

@@ -3,6 +3,7 @@
 // JSON export, and ThreadPool lane telemetry.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -91,6 +92,60 @@ TEST_F(ObsTest, GaugeSetAndRunningMax) {
   EXPECT_DOUBLE_EQ(g.max(), 7.0);    // max keeps the peak
 }
 
+TEST_F(ObsTest, PercentilesExactNearestRankOnKnownDistribution) {
+  // The fixed-bucket Histogram quantises p50/p99 to bucket edges; the
+  // Percentiles instrument must be *exact* (nearest-rank) while under its
+  // sample cap. Feed a known distribution in scrambled order and check
+  // every reading against the analytic nearest-rank value.
+  Percentiles& p = Registry::global().percentiles("test.pct");
+  const std::int64_t n = 1'000;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // (i * 117) mod 1000 is a bijection on [0, 1000): values 1..1000 in
+    // scrambled arrival order.
+    p.record(static_cast<double>((i * 117) % n + 1));
+  }
+  EXPECT_EQ(p.count(), n);
+  EXPECT_DOUBLE_EQ(p.max(), 1000.0);
+  // Nearest rank: ceil(q/100 * n)-th smallest of 1..1000 is exactly
+  // ceil(10 * q).
+  for (const double q : {0.0, 0.1, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double expected =
+        q == 0.0 ? 1.0 : std::ceil(q / 100.0 * static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(p.percentile(q), expected) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 1000.0);
+}
+
+TEST_F(ObsTest, PercentilesReservoirIsBoundedAndDeterministic) {
+  // Past kMaxSamples the instrument degrades to a fixed-seed reservoir:
+  // memory stays bounded, count/max stay exact, and two instruments fed
+  // the same sequence read identically (replay determinism).
+  Percentiles& a = Registry::global().percentiles("test.pct.a");
+  Percentiles& b = Registry::global().percentiles("test.pct.b");
+  const std::int64_t n =
+      static_cast<std::int64_t>(Percentiles::kMaxSamples) + 20'000;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i % 1'000);
+    a.record(v);
+    b.record(v);
+  }
+  EXPECT_EQ(a.count(), n);
+  EXPECT_DOUBLE_EQ(a.max(), 999.0);
+  EXPECT_DOUBLE_EQ(a.percentile(50.0), b.percentile(50.0));
+  EXPECT_DOUBLE_EQ(a.percentile(99.0), b.percentile(99.0));
+  // The underlying distribution is uniform on [0, 1000); a uniform
+  // reservoir of 64Ki samples puts the median well within a few percent.
+  EXPECT_NEAR(a.percentile(50.0), 500.0, 50.0);
+  EXPECT_NEAR(a.percentile(99.0), 990.0, 10.0);
+}
+
+TEST_F(ObsTest, PercentilesEmptyReadsZero) {
+  Percentiles& p = Registry::global().percentiles("test.pct.empty");
+  EXPECT_EQ(p.count(), 0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.max(), 0.0);
+}
+
 TEST_F(ObsTest, RegistryInternsInstrumentsByName) {
   Counter& a1 = Registry::global().counter("test.a");
   Counter& a2 = Registry::global().counter("test.a");
@@ -162,12 +217,15 @@ TEST_F(ObsTest, JsonExportContainsSchemaAndInstruments) {
   Registry::global().counter("test.json.counter").add(41);
   Registry::global().gauge("test.json.gauge").set(1.25);
   Registry::global().histogram("test.json.hist", {10.0}).record(4.0);
+  Registry::global().percentiles("test.json.pct").record(2.5);
   { ScopedSpan s("test_span"); }
   const std::string j = to_json();
   EXPECT_NE(j.find("\"schema\": \"fmnet.metrics.v1\""), std::string::npos);
   EXPECT_NE(j.find("\"test.json.counter\": 41"), std::string::npos);
   EXPECT_NE(j.find("\"test.json.gauge\""), std::string::npos);
   EXPECT_NE(j.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(j.find("\"test.json.pct\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
   EXPECT_NE(j.find("\"test_span\""), std::string::npos);
   EXPECT_NE(j.find("\"thread_pool\""), std::string::npos);
   EXPECT_NE(j.find("\"lane_stats\""), std::string::npos);
