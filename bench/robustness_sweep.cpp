@@ -23,8 +23,8 @@ int main() {
   core::Scenario s = bench::default_scenario(/*seed=*/42, /*full_ms=*/4'000);
   s.name = "bench-robustness";
   s.methods = fast_mode()
-                  ? std::vector<std::string>{"linear", "rate"}
-                  : std::vector<std::string>{"linear", "rate",
+                  ? std::vector<std::string>{"linear", "rate", "autoencoder"}
+                  : std::vector<std::string>{"linear", "rate", "autoencoder",
                                              "transformer+kal"};
   s.faults.seed = 7;
   s.faults.periodic_drop = 0.3;

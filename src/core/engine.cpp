@@ -299,6 +299,8 @@ impute::BuiltImputer Engine::fit_method_with_key(const Scenario& s,
   impute::MethodParams params;
   params.model = s.model;
   params.train = s.train;
+  params.autoencoder = s.autoencoder;
+  params.autoencoder.window = static_cast<std::int64_t>(s.window_ms);
   params.cem = s.cem;
   params.pool = pool_;
   impute::BuiltImputer built = impute::Registry::build(method, params);
@@ -333,11 +335,13 @@ impute::BuiltImputer Engine::fit_method_with_key(const Scenario& s,
 std::vector<Table1Row> Engine::run(const Scenario& s) {
   const Campaign c = campaign(s.campaign);
   const PreparedData data = prepare(s, c);
-  const Table1Evaluator evaluator(c, data, s.burst_threshold_fraction);
+  const Table1Evaluator evaluator(c, data, s.burst_threshold_fraction, s.c4);
 
   impute::MethodParams params;
   params.model = s.model;
   params.train = s.train;
+  params.autoencoder = s.autoencoder;
+  params.autoencoder.window = static_cast<std::int64_t>(s.window_ms);
   params.cem = s.cem;
   params.pool = pool_;
 
@@ -495,11 +499,14 @@ std::vector<FabricSwitchResult> Engine::run_fabric_switches(
         prepare_with_key(sw_s, campaigns[static_cast<std::size_t>(i)],
                          fabric_dataset_key(s, i));
     const Table1Evaluator evaluator(campaigns[static_cast<std::size_t>(i)],
-                                    data, sw_s.burst_threshold_fraction);
+                                    data, sw_s.burst_threshold_fraction,
+                                    sw_s.c4);
 
     impute::MethodParams params;
     params.model = sw_s.model;
     params.train = sw_s.train;
+    params.autoencoder = sw_s.autoencoder;
+    params.autoencoder.window = static_cast<std::int64_t>(sw_s.window_ms);
     params.cem = sw_s.cem;
     params.pool = pool_;
 

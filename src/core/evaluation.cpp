@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "tasks/metrics.h"
+#include "tasks/netcalc.h"
 #include "util/check.h"
 #include "util/table.h"
 
@@ -11,12 +12,20 @@ namespace fmnet::core {
 
 Table1Evaluator::Table1Evaluator(const Campaign& campaign,
                                  const PreparedData& data,
-                                 double burst_threshold_fraction)
+                                 double burst_threshold_fraction,
+                                 tasks::C4Config c4)
     : campaign_(campaign), data_(data) {
   FMNET_CHECK_GT(burst_threshold_fraction, 0.0);
   burst_threshold_ = burst_threshold_fraction *
                      static_cast<double>(campaign.switch_config.buffer_size);
   FMNET_CHECK(!data_.split.test.empty(), "no test examples");
+  // Row j's reference: worst-case backlog over one imputation window. The
+  // service rate is the port drain speed (one packet per slot) and the
+  // horizon is the window length — fine steps are milliseconds.
+  c4_bound_pkts_ = tasks::c4_backlog_bound(
+      c4, static_cast<double>(campaign.switch_config.slots_per_ms),
+      static_cast<double>(campaign.switch_config.buffer_size),
+      static_cast<double>(data_.split.test.front().window));
 
   // Stitch ground truth over the test windows, per queue, in window order.
   const std::size_t queues = campaign_.gt.queue_len.size();
@@ -34,6 +43,7 @@ Table1Row Table1Evaluator::evaluate(impute::Imputer& imputer) const {
   row.method = imputer.name();
 
   tasks::ConsistencyAccumulator consistency;
+  tasks::BacklogBoundAccumulator backlog;
   const std::size_t queues = campaign_.gt.queue_len.size();
   std::vector<std::vector<double>> stitched(queues);
 
@@ -46,12 +56,14 @@ Table1Row Table1Evaluator::evaluate(impute::Imputer& imputer) const {
       normalised[t] = imputed[t] / ex.qlen_scale;
     }
     consistency.add(normalised, ex.constraints);
+    backlog.add(normalised, ex.constraints, c4_bound_pkts_ / ex.qlen_scale);
     auto& dst = stitched[static_cast<std::size_t>(ex.queue)];
     dst.insert(dst.end(), imputed.begin(), imputed.end());
   }
   row.max_constraint = consistency.max_error();
   row.periodic_constraint = consistency.periodic_error();
   row.sent_constraint = consistency.sent_error();
+  row.c4_backlog = backlog.error();
 
   // Burst tasks, averaged over queues that actually have bursts in truth.
   double det = 0.0;
@@ -117,6 +129,7 @@ void print_table1(const std::vector<Table1Row>& rows, std::ostream& os) {
       [](const Table1Row& r) { return r.empty_queue_freq; });
   add("i. Avg count of concurrent bursts",
       [](const Table1Row& r) { return r.concurrent_bursts; });
+  add("j. C4 Backlog Bound", [](const Table1Row& r) { return r.c4_backlog; });
   table.print(os);
 }
 

@@ -1,7 +1,8 @@
 // Table-1 evaluation: runs an Imputer over the test split, stitches the
-// imputed windows into per-queue series, and computes the nine error rows
-// of the paper's Table 1 (consistency a–c, burst tasks d–g, queue health h,
-// concurrent bursts i).
+// imputed windows into per-queue series, and computes the error rows of
+// the paper's Table 1 (consistency a–c, burst tasks d–g, queue health h,
+// concurrent bursts i) plus the C4 network-calculus backlog-bound check
+// (row j, tasks/netcalc.h).
 #pragma once
 
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "core/pipeline.h"
 #include "impute/imputer.h"
+#include "tasks/netcalc.h"
 
 namespace fmnet::core {
 
@@ -25,6 +27,7 @@ struct Table1Row {
   double burst_interarrival = 0.0;   // g
   double empty_queue_freq = 0.0;     // h
   double concurrent_bursts = 0.0;    // i
+  double c4_backlog = 0.0;           // j
 };
 
 class Table1Evaluator {
@@ -34,13 +37,21 @@ class Table1Evaluator {
   /// The default (8% of the shared buffer) keeps detection meaningful for
   /// the incast bursts of the paper workload while staying above the
   /// noise floor of ML-imputed series.
+  /// `c4` supplies the arrival-curve envelope for row j; the service rate,
+  /// buffer cap and horizon come from the campaign's switch config and the
+  /// window length. The default (no envelope) bounds backlog by the buffer
+  /// size — sound for every scenario.
   Table1Evaluator(const Campaign& campaign, const PreparedData& data,
-                  double burst_threshold_fraction = 0.08);
+                  double burst_threshold_fraction = 0.08,
+                  tasks::C4Config c4 = {});
 
   /// Imputes every test example with `imputer` and fills a Table1Row.
   Table1Row evaluate(impute::Imputer& imputer) const;
 
   double burst_threshold() const { return burst_threshold_; }
+
+  /// The C4 worst-case backlog bound in packets (row j's reference value).
+  double c4_bound_pkts() const { return c4_bound_pkts_; }
 
   /// The stitched ground-truth series of the test windows, per queue
   /// (packets) — exposed for figure benches.
@@ -52,6 +63,7 @@ class Table1Evaluator {
   const Campaign& campaign_;
   const PreparedData& data_;
   double burst_threshold_;
+  double c4_bound_pkts_ = 0.0;
   std::vector<std::vector<double>> truth_;  // [queue][stitched step]
 };
 

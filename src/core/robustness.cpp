@@ -61,6 +61,8 @@ RobustnessCurves run_robustness_sweep(
   impute::MethodParams params;
   params.model = s.model;
   params.train = s.train;
+  params.autoencoder = s.autoencoder;
+  params.autoencoder.window = static_cast<std::int64_t>(s.window_ms);
   params.cem = s.cem;
   params.pool = engine.pool();
 

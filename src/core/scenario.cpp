@@ -504,6 +504,57 @@ const std::vector<OptionDef>& option_defs() {
                     [](const Scenario& s) {
                       return fmt_int(s.serve.repair ? 1 : 0);
                     }});
+
+    // --- autoencoder architecture (impute/autoencoder_imputer.h) ---
+    // Appended after every pre-existing key (same discipline as faults,
+    // fabric and serve): canonical_training splices these in only for
+    // autoencoder-family methods, so transformer checkpoints and every
+    // older cache key stay byte identical.
+    auto ae_dim = [](const char* key,
+                     std::int64_t impute::AutoencoderConfig::*m) {
+      return OptionDef{
+          key,
+          [m](Scenario& s, const std::string& k, const std::string& v) {
+            const auto parsed = parse_int(k, v);
+            FMNET_CHECK_GT(parsed, 0);
+            s.autoencoder.*m = parsed;
+          },
+          [m](const Scenario& s) { return fmt_int(s.autoencoder.*m); }};
+    };
+    defs.push_back(ae_dim("impute.autoencoder.hidden",
+                          &impute::AutoencoderConfig::hidden));
+    defs.push_back(ae_dim("impute.autoencoder.latent",
+                          &impute::AutoencoderConfig::latent));
+    defs.push_back({"impute.autoencoder.penalty-weight",
+                    [](Scenario& s, const std::string& k,
+                       const std::string& v) {
+                      const double w = parse_real(k, v);
+                      FMNET_CHECK_GE(w, 0.0);
+                      s.autoencoder.penalty_weight = static_cast<float>(w);
+                    },
+                    [](const Scenario& s) {
+                      return fmt_float(s.autoencoder.penalty_weight);
+                    }});
+
+    // --- C4 network-calculus envelope (tasks/netcalc.h) ---
+    // Pure evaluation inputs: like serve.*, these never join cache keys
+    // (re-running with a tighter envelope must hit every artifact).
+    auto c4_real = [](const char* key, double tasks::C4Config::*m) {
+      return OptionDef{
+          key,
+          [m](Scenario& s, const std::string& k, const std::string& v) {
+            const double parsed = parse_real(k, v);
+            FMNET_CHECK_GE(parsed, 0.0);
+            s.c4.*m = parsed;
+          },
+          [m](const Scenario& s) { return fmt_real(s.c4.*m); }};
+    };
+    defs.push_back(
+        c4_real("metrics.c4.arrival-burst", &tasks::C4Config::arrival_burst));
+    defs.push_back(
+        c4_real("metrics.c4.arrival-rate", &tasks::C4Config::arrival_rate));
+    defs.push_back(
+        c4_real("metrics.c4.latency-ms", &tasks::C4Config::latency_ms));
     return defs;
   }();
   return kDefs;
@@ -606,7 +657,14 @@ Scenario parse_scenario(std::istream& in, const std::string& origin) {
         key != "name" && key != "methods") {
       key = section + "." + key;
     }
-    apply_scenario_option(s, key, value);
+    try {
+      apply_scenario_option(s, key, value);
+    } catch (const CheckError& e) {
+      // Re-anchor option errors (unknown key, bad value, unknown method) at
+      // the offending line: "scenario.scn:12: unknown scenario option: ...".
+      throw CheckError(origin + ":" + std::to_string(lineno) + ": " +
+                       e.what());
+    }
   }
   return s;
 }
@@ -623,9 +681,10 @@ Scenario load_scenario_file(const std::string& path) {
 }
 
 std::string canonical_scenario(const Scenario& s) {
-  // Full round trip: every option key — faults, fabric and serve included
-  // — so parse(canonical(s)) == s for any s (fuzz-tested fixpoint).
-  return emit(s, "name", "serve.repair");
+  // Full round trip: every option key — faults, fabric, serve, autoencoder
+  // and C4 included — so parse(canonical(s)) == s for any s (fuzz-tested
+  // fixpoint).
+  return emit(s, "name", "metrics.c4.latency-ms");
 }
 
 std::string canonical_campaign(const CampaignConfig& c) {
@@ -652,8 +711,17 @@ std::string canonical_faults(const Scenario& s) {
 
 std::string canonical_training(const Scenario& s,
                                const std::string& method) {
-  return canonical_dataset(s) + emit(s, "model.d-model", "train.seed") +
-         "method = " + method + "\n";
+  std::string out =
+      canonical_dataset(s) + emit(s, "model.d-model", "train.seed");
+  // Architecture keys join checkpoint material only for the family that
+  // reads them: tweaking the autoencoder must not retrain transformers,
+  // and non-autoencoder keys hash exactly as they did before the second
+  // family existed.
+  if (impute::Registry::base_method(method) == "autoencoder") {
+    out += emit(s, "impute.autoencoder.hidden",
+                "impute.autoencoder.penalty-weight");
+  }
+  return out + "method = " + method + "\n";
 }
 
 std::string canonical_fabric(const Scenario& s) {

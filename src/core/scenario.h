@@ -36,10 +36,12 @@
 #include "core/pipeline.h"
 #include "fabric/fabric.h"
 #include "faults/faults.h"
+#include "impute/autoencoder_imputer.h"
 #include "impute/cem.h"
 #include "impute/transformer_imputer.h"
 #include "nn/transformer.h"
 #include "serve/config.h"
+#include "tasks/netcalc.h"
 
 namespace fmnet::core {
 
@@ -73,6 +75,14 @@ struct Scenario {
   /// replays an already-simulated/trained scenario, so tweaking server
   /// knobs must keep hitting the batch pipeline's caches.
   serve::ServeConfig serve;
+  /// Autoencoder architecture (impute.autoencoder.* keys). `window` is not
+  /// a key — the engine sets it from window_ms. The keys join checkpoint
+  /// cache material only for autoencoder-family methods, so editing them
+  /// never invalidates transformer checkpoints (see canonical_training).
+  impute::AutoencoderConfig autoencoder;
+  /// C4 network-calculus arrival-curve envelope (metrics.c4.* keys). Pure
+  /// evaluation input — like serve.*, it feeds NO artifact cache keys.
+  tasks::C4Config c4;
 
   Scenario();
 };

@@ -62,7 +62,7 @@ ParsedName parse_name(const std::string& name) {
 
 std::shared_ptr<Imputer> build_base(const std::string& base,
                                     const MethodParams& params,
-                                    std::shared_ptr<TransformerImputer>*
+                                    std::shared_ptr<CheckpointableImputer>*
                                         trainable) {
   if (base == "linear") return std::make_shared<LinearInterpImputer>();
   if (base == "iterative") return std::make_shared<IterativeImputer>();
@@ -96,6 +96,12 @@ std::shared_ptr<Imputer> build_base(const std::string& base,
     *trainable = t;
     return t;
   }
+  if (base == "autoencoder") {
+    auto a =
+        std::make_shared<AutoencoderImputer>(params.autoencoder, params.train);
+    *trainable = a;
+    return a;
+  }
   FMNET_CHECK(false, "unknown imputation method: " + base);
 }
 
@@ -104,8 +110,9 @@ std::shared_ptr<Imputer> build_base(const std::string& base,
 const std::vector<std::string>& Registry::known_methods() {
   static const std::vector<std::string> kMethods = [] {
     const std::vector<std::string> bases = {
-        "linear", "iterative", "fm",   "mlp",
-        "gru",    "rate",      "transformer", "transformer+kal"};
+        "linear", "iterative", "fm",          "mlp",
+        "gru",    "rate",      "transformer", "transformer+kal",
+        "autoencoder"};
     std::vector<std::string> all;
     for (const auto& b : bases) {
       all.push_back(b);

@@ -11,6 +11,8 @@
 //   rate         — physics-informed rate transformer (§5)
 //   transformer  — encoder transformer, EMD loss
 //   transformer+kal — transformer with the Knowledge-Augmented Loss (§3.1)
+//   autoencoder  — encoder/decoder MLP over the flattened window with a
+//                  fixed-weight kal_penalty term (second model family)
 //   fm           — FM-alone: any feasible witness of the C1–C3 constraint
 //                  system per interval, found with the smtlite engine and no
 //                  learned model at all (§2.3)
@@ -25,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "impute/autoencoder_imputer.h"
 #include "impute/cem.h"
 #include "impute/imputer.h"
 #include "impute/transformer_imputer.h"
@@ -40,18 +43,22 @@ struct MethodParams {
   /// Transformer-family training; `use_kal` is overridden by the method
   /// name (transformer vs transformer+kal), never read from here.
   TrainConfig train;
+  /// Autoencoder architecture; its `window` must match the dataset window
+  /// length (the engine sets it from the scenario's data.window-ms).
+  AutoencoderConfig autoencoder;
   CemConfig cem;
   /// Forwarded to CEM wrappers so windows are corrected concurrently; must
   /// outlive the imputer. null = global pool.
   util::ThreadPool* pool = nullptr;
 };
 
-/// A constructed method. `trainable` is non-null for the transformer-family
+/// A constructed method. `trainable` is non-null for the model-backed
 /// methods whose weights can be checkpointed via nn::serialize — it aliases
-/// the innermost TransformerImputer of `imputer` (through any CEM wrapper).
+/// the innermost checkpointable imputer of `imputer` (through any CEM
+/// wrapper).
 struct BuiltImputer {
   std::shared_ptr<Imputer> imputer;
-  std::shared_ptr<TransformerImputer> trainable;
+  std::shared_ptr<CheckpointableImputer> trainable;
 };
 
 class Registry {

@@ -57,8 +57,8 @@ struct InferConfig {
 };
 
 /// The "Transformer" and "Transformer+KAL" rows of Table 1, selected by
-/// TrainConfig::use_kal.
-class TransformerImputer : public Imputer {
+/// TrainConfig::use_kal. Checkpointable: model() is the full learned state.
+class TransformerImputer : public CheckpointableImputer {
  public:
   TransformerImputer(nn::TransformerConfig model_config,
                      TrainConfig train_config,
@@ -102,7 +102,7 @@ class TransformerImputer : public Imputer {
   void set_infer_config(const InferConfig& infer_config);
   const InferConfig& infer_config() const { return infer_config_; }
 
-  nn::ImputationTransformer& model() { return *model_; }
+  nn::ImputationTransformer& model() override { return *model_; }
   const TrainConfig& train_config() const { return train_config_; }
 
  private:

@@ -1,0 +1,62 @@
+#include "tasks/netcalc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fmnet::tasks {
+
+double c4_backlog_bound(const C4Config& config,
+                        double service_rate_pkts_per_ms,
+                        double buffer_cap_pkts, double horizon_ms) {
+  FMNET_CHECK_GE(config.arrival_burst, 0.0);
+  FMNET_CHECK_GE(config.arrival_rate, 0.0);
+  FMNET_CHECK_GE(config.latency_ms, 0.0);
+  FMNET_CHECK_GE(service_rate_pkts_per_ms, 0.0);
+  FMNET_CHECK_GE(buffer_cap_pkts, 0.0);
+  FMNET_CHECK_GE(horizon_ms, 0.0);
+  // No envelope configured: the only admissible worst case is a full
+  // buffer, which is always a sound bound (occupancy is physically capped).
+  if (config.arrival_burst <= 0.0 && config.arrival_rate <= 0.0) {
+    return buffer_cap_pkts;
+  }
+  // sup_t (α(t) − β(t)) with α(t) = σ + ρt, β(t) = R·[t−T]⁺ over [0, H]:
+  // the vertical deviation at t = T plus, if ρ exceeds R, the residual
+  // growth (ρ − R) over the remaining horizon.
+  const double at_latency =
+      config.arrival_burst + config.arrival_rate * config.latency_ms;
+  const double excess_rate =
+      std::max(0.0, config.arrival_rate - service_rate_pkts_per_ms);
+  const double residual =
+      excess_rate * std::max(0.0, horizon_ms - config.latency_ms);
+  return std::min(buffer_cap_pkts, at_latency + residual);
+}
+
+void BacklogBoundAccumulator::add(const std::vector<double>& imputed,
+                                  const nn::ExampleConstraints& c,
+                                  double bound) {
+  const auto t_len = static_cast<std::int64_t>(imputed.size());
+  FMNET_CHECK_GT(c.coarse_factor, 0);
+  FMNET_CHECK_EQ(t_len % c.coarse_factor, 0);
+  FMNET_CHECK_GE(bound, 0.0);
+  const std::int64_t windows = t_len / c.coarse_factor;
+  for (std::int64_t w = 0; w < windows; ++w) {
+    // Same exemption as C1: an interval whose LANZ report was lost is
+    // CEM-repaired without a max bound, so holding its imputed peak
+    // against the calculus bound would punish the repair for the fault.
+    const bool valid =
+        c.window_max_valid.empty() ||
+        c.window_max_valid[static_cast<std::size_t>(w)] != 0;
+    if (!valid) continue;
+    double wmax = 0.0;
+    for (std::int64_t t = w * c.coarse_factor; t < (w + 1) * c.coarse_factor;
+         ++t) {
+      wmax = std::max(wmax, imputed[static_cast<std::size_t>(t)]);
+    }
+    violation += std::max(0.0, wmax - bound);
+    norm += bound;
+  }
+}
+
+}  // namespace fmnet::tasks

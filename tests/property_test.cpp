@@ -2,7 +2,9 @@
 // inputs and parameter sweeps, spanning several modules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "impute/cem.h"
 #include "impute/fm_model.h"
@@ -13,8 +15,10 @@
 #include "smt/solver.h"
 #include "switchsim/switch.h"
 #include "tasks/metrics.h"
+#include "tasks/netcalc.h"
 #include "tensor/broadcast.h"
 #include "tensor/ops.h"
+#include "test_helpers.h"
 #include "traffic/sources.h"
 #include "util/rng.h"
 
@@ -300,6 +304,89 @@ TEST_P(ThresholdSweep, IdentityScoresZero) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
                          ::testing::Values(1.0, 5.0, 20.0, 45.0));
+
+// ---------------------------------------------------------------------------
+// C4 backlog bound: analytic properties plus soundness against simulated
+// ground truth — the bound must never undercut a backlog the recorded
+// arrival process actually produced.
+// ---------------------------------------------------------------------------
+
+TEST(C4BoundProperty, MonotoneInBurstSize) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double service = rng.uniform(1.0, 15.0);
+    const double buffer = rng.uniform(50.0, 500.0);
+    const double horizon = rng.uniform(10.0, 400.0);
+    tasks::C4Config lo;
+    lo.arrival_rate = rng.uniform(0.0, 20.0);
+    lo.latency_ms = rng.uniform(0.0, 5.0);
+    tasks::C4Config hi = lo;
+    lo.arrival_burst = rng.uniform(0.001, 100.0);
+    hi.arrival_burst = lo.arrival_burst + rng.uniform(0.001, 100.0);
+    EXPECT_LE(tasks::c4_backlog_bound(lo, service, buffer, horizon),
+              tasks::c4_backlog_bound(hi, service, buffer, horizon))
+        << "trial " << trial;
+  }
+}
+
+/// Tightest token-bucket burst σ for a given sustained rate ρ over a
+/// recorded per-ms arrival series: sup over intervals (s, t] of
+/// A(s, t] − ρ·(t − s), evaluated at millisecond boundaries.
+double fitted_burst(const std::vector<double>& arrivals_per_ms, double rate) {
+  double sigma = 0.0;
+  double min_slack = 0.0;  // min over s of A(0, s] − ρ·s (s = 0 included)
+  double cum = 0.0;
+  for (std::size_t t = 0; t < arrivals_per_ms.size(); ++t) {
+    cum += arrivals_per_ms[t];
+    const double slack = cum - rate * static_cast<double>(t + 1);
+    sigma = std::max(sigma, slack - min_slack);
+    min_slack = std::min(min_slack, slack);
+  }
+  return sigma;
+}
+
+TEST(C4BoundProperty, NeverBelowObservedMaxBacklog) {
+  for (const std::uint64_t seed : {31u, 57u, 83u}) {
+    const auto run = fmnet::testing::run_small_campaign(seed, 400);
+    const auto& gt = run.gt;
+    const double horizon = static_cast<double>(gt.num_ms());
+    const double buffer = static_cast<double>(run.config.buffer_size);
+    for (std::int32_t p = 0; p < run.config.num_ports; ++p) {
+      // Worst backlog attributable to this port: the start-of-ms sum over
+      // its queues, and each queue's within-ms (LANZ) maximum.
+      double observed = 0.0;
+      for (std::size_t t = 0; t < gt.num_ms(); ++t) {
+        double port_sum = 0.0;
+        for (std::int32_t j = 0; j < run.config.queues_per_port; ++j) {
+          const auto q = static_cast<std::size_t>(
+              p * run.config.queues_per_port + j);
+          port_sum += gt.queue_len[q][t];
+          observed = std::max(observed, gt.queue_len_max[q][t]);
+        }
+        observed = std::max(observed, port_sum);
+      }
+      // Fit a valid (σ, ρ) envelope to the recorded arrivals at two rates.
+      // With R = 0 (assume nothing about service) the bound must still
+      // dominate every backlog those arrivals can have produced, since
+      // backlog at t never exceeds A(0, t] ≤ σ + ρ·H.
+      const auto& recv = gt.port_received[static_cast<std::size_t>(p)];
+      const double mean_rate = recv.mean();
+      for (const double rate : {mean_rate, 1.5 * mean_rate + 0.1}) {
+        tasks::C4Config c4;
+        c4.arrival_rate = rate;
+        c4.arrival_burst = fitted_burst(recv.values(), rate);
+        c4.latency_ms = 0.0;
+        const double bound = tasks::c4_backlog_bound(c4, 0.0, buffer, horizon);
+        EXPECT_GE(bound + 1e-6, observed)
+            << "seed " << seed << " port " << p << " rate " << rate;
+      }
+      // No envelope keys set: the bound collapses to the shared buffer
+      // cap, which still dominates any physical occupancy.
+      EXPECT_EQ(tasks::c4_backlog_bound({}, 0.0, buffer, horizon), buffer);
+      EXPECT_GE(buffer, observed);
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // smtlite: add_max agrees with brute force on random instances.

@@ -118,6 +118,17 @@ TEST(ScenarioFuzz, CanonicalFormsAreFixpoints) {
   core::Scenario zeroed = faulted;
   zeroed.faults.severity = 0.0;
   EXPECT_TRUE(parse_or_reject(core::canonical_scenario(zeroed)));
+
+  // Non-default autoencoder hyperparameters and C4 envelope keys survive
+  // the round trip too (they serialise after the serve block).
+  core::Scenario tuned;
+  tuned.autoencoder.hidden = 96;
+  tuned.autoencoder.latent = 24;
+  tuned.autoencoder.penalty_weight = 2.5f;
+  tuned.c4.arrival_burst = 120.0;
+  tuned.c4.arrival_rate = 4.5;
+  tuned.c4.latency_ms = 2.0;
+  EXPECT_TRUE(parse_or_reject(core::canonical_scenario(tuned)));
 }
 
 TEST(ScenarioFuzz, StructuredEdgeCasesRejectCleanly) {
@@ -135,10 +146,29 @@ TEST(ScenarioFuzz, StructuredEdgeCasesRejectCleanly) {
       "[unterminated",
       "methods = linear, no-such-method",
       "faults.quantize = 0.5",
+      "impute.autoencoder.hidden = 0",
+      "impute.autoencoder.latent = -1",
+      "impute.autoencoder.penalty-weight = -1",
+      "metrics.c4.arrival-burst = -2",
+      "metrics.c4.latency-ms = nan",
   };
   for (const auto& text : cases) {
     EXPECT_THROW(core::parse_scenario_string(text), CheckError)
         << "input was not rejected: " << text;
+  }
+}
+
+TEST(ScenarioFuzz, UnknownMethodErrorCarriesOriginAndLine) {
+  // Regression: option-level failures used to surface without saying where
+  // in the file they came from. The parser must prefix origin:line.
+  const std::string text = "name = x\n\nmethods = no-such-method\n";
+  try {
+    core::parse_scenario_string(text);
+    FAIL() << "unknown method was accepted";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<string>:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("no-such-method"), std::string::npos) << what;
   }
 }
 

@@ -1,9 +1,12 @@
 // Tests for burst detection and the Table-1 metric definitions.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "tasks/bursts.h"
 #include "tasks/delay.h"
 #include "tasks/metrics.h"
+#include "tasks/netcalc.h"
 #include "util/check.h"
 
 namespace fmnet::tasks {
@@ -91,6 +94,56 @@ TEST(Consistency, AccumulatesAcrossWindows) {
   // relu(3-2) + relu(6-4) = 3 over norm 2 + 4 = 6.
   acc.add({3, 0, 6, 0}, c);
   EXPECT_NEAR(acc.max_error(), 3.0 / 6.0, 1e-9);
+}
+
+TEST(C4Bound, FormulaAndBufferCollapse) {
+  // σ = 10, ρ = 3, T = 2, R = 5, H = 100: ρ < R so no residual growth —
+  // B* = σ + ρT = 16, under the buffer.
+  C4Config c4;
+  c4.arrival_burst = 10.0;
+  c4.arrival_rate = 3.0;
+  c4.latency_ms = 2.0;
+  EXPECT_DOUBLE_EQ(c4_backlog_bound(c4, 5.0, 200.0, 100.0), 16.0);
+  // ρ = 8 > R = 5: the excess accumulates over the remaining horizon —
+  // B* = 10 + 8·2 + 3·98 = 320, capped by the 200-packet buffer.
+  c4.arrival_rate = 8.0;
+  EXPECT_DOUBLE_EQ(c4_backlog_bound(c4, 5.0, 200.0, 100.0), 200.0);
+  EXPECT_DOUBLE_EQ(c4_backlog_bound(c4, 5.0, 400.0, 100.0), 320.0);
+  // No envelope keys: the only sound worst case is the buffer itself.
+  EXPECT_DOUBLE_EQ(c4_backlog_bound({}, 5.0, 200.0, 100.0), 200.0);
+  // Invalid inputs (including NaN, which fails the GE check) are rejected.
+  c4.arrival_burst = -1.0;
+  EXPECT_THROW(c4_backlog_bound(c4, 5.0, 200.0, 100.0), CheckError);
+  c4.arrival_burst = std::nan("");
+  EXPECT_THROW(c4_backlog_bound(c4, 5.0, 200.0, 100.0), CheckError);
+}
+
+TEST(C4Bound, AccumulatorNormalisedViolations) {
+  nn::ExampleConstraints c;
+  c.coarse_factor = 4;
+  BacklogBoundAccumulator acc;
+  // Interval maxima 3 and 7 against a bound of 5: relu(3−5) + relu(7−5)
+  // = 2 over norm 5 + 5 = 10.
+  acc.add({1, 3, 2, 0, 7, 1, 0, 0}, c, 5.0);
+  EXPECT_NEAR(acc.error(), 2.0 / 10.0, 1e-9);
+  // Staying below the bound is not a violation (it is an upper bound).
+  BacklogBoundAccumulator under;
+  under.add({1, 3, 2, 0}, c, 5.0);
+  EXPECT_DOUBLE_EQ(under.error(), 0.0);
+}
+
+TEST(C4Bound, FaultMaskedIntervalsAreExempt) {
+  // The second interval's LANZ report was lost (window_max_valid == 0):
+  // its imputed peak of 7 contributes neither violation nor norm, exactly
+  // like C1's exemption during CEM repair.
+  nn::ExampleConstraints c;
+  c.coarse_factor = 4;
+  c.window_max = {3.0f, 0.0f};
+  c.window_max_valid = {1, 0};
+  BacklogBoundAccumulator acc;
+  acc.add({1, 3, 2, 0, 7, 1, 0, 0}, c, 5.0);
+  EXPECT_DOUBLE_EQ(acc.violation, 0.0);
+  EXPECT_DOUBLE_EQ(acc.norm, 5.0);
 }
 
 TEST(BurstMetricsTest, PerfectImputationZeroErrors) {
